@@ -1,0 +1,152 @@
+// Ablation for the Sec. IV-A claim: inserting requests in ascending order of
+// shareability (graph degree) raises the probability that linear insertion
+// reaches the globally optimal schedule. Paper numbers: release order gives
+// 89% / 85% optimal when inserting the 3rd / 4th request (NYC / CHD);
+// shareability order raises this to 91% / 90%.
+//
+// Method: sample k-cliques from a real shareability graph, compute the exact
+// optimum with the kinetic tree, and compare against linear insertion under
+// both orderings.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/insertion.h"
+#include "core/kinetic_tree.h"
+#include "roadnet/generator.h"
+#include "sharegraph/builder.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+using namespace structride;
+
+namespace {
+
+struct Tally {
+  int optimal = 0;
+  int total = 0;
+  double Rate() const { return total == 0 ? 0 : static_cast<double>(optimal) / total; }
+};
+
+// Linear insertion of `order` into an empty schedule; returns cost or -1.
+double LinearCost(const RouteState& state, const std::vector<Request>& order,
+                  TravelCostEngine* engine) {
+  Schedule schedule;
+  for (const Request& r : order) {
+    InsertionCandidate cand = BestInsertion(state, schedule, r, engine);
+    if (!cand.feasible) return -1;
+    schedule = Schedule(ApplyInsertion(schedule, r, cand));
+  }
+  auto [ok, cost] = CheckSchedule(state, schedule.stops(), engine);
+  return ok ? cost : -1;
+}
+
+}  // namespace
+
+int main() {
+  CityOptions copt;
+  copt.rows = 24;
+  copt.cols = 24;
+  copt.seed = 77;
+  RoadNetwork net = GenerateGridCity(copt);
+  TravelCostEngine engine(net);
+  DeadlinePolicy policy;
+  policy.gamma = 1.4;  // tight detours: orderings actually matter
+
+  std::printf("\n================================================================\n");
+  std::printf("Sec. IV-A ablation: linear insertion optimality probability\n");
+  std::printf("================================================================\n");
+  std::printf("%-8s%-22s%14s%10s\n", "k", "insertion order", "P(optimal)",
+              "samples");
+
+  Rng rng(4242);
+  for (int k : {3, 4}) {
+    Tally release_order, shareability_order;
+    for (int round = 0; round < 80; ++round) {
+      // A fresh burst of near-simultaneous requests.
+      WorkloadOptions wopts;
+      wopts.num_requests = 90;
+      wopts.duration = 30;
+      wopts.seed = 1000 + static_cast<uint64_t>(round) * 13 + k;
+      auto reqs = GenerateWorkload(net, &engine, policy, wopts);
+      ShareGraphBuilderOptions bopts;
+      bopts.use_angle_pruning = false;
+      bopts.vehicle_capacity = k;
+      ShareGraphBuilder builder(&engine, bopts);
+      builder.AddBatch(reqs);
+      const ShareGraph& sg = builder.graph();
+
+      // Sample k-cliques greedily from random seeds.
+      for (int attempt = 0; attempt < 40; ++attempt) {
+        RequestId seed = reqs[static_cast<size_t>(
+                                  rng.UniformInt(0, static_cast<int64_t>(
+                                                        reqs.size()) -
+                                                        1))]
+                             .id;
+        std::vector<RequestId> clique = {seed};
+        for (RequestId nb : sg.Neighbors(seed)) {
+          bool connected_to_all = true;
+          for (RequestId m : clique) {
+            if (m != seed && !sg.HasEdge(nb, m)) {
+              connected_to_all = false;
+              break;
+            }
+          }
+          if (connected_to_all) clique.push_back(nb);
+          if (static_cast<int>(clique.size()) == k) break;
+        }
+        if (static_cast<int>(clique.size()) != k) continue;
+
+        std::vector<Request> members;
+        for (RequestId id : clique) members.push_back(builder.request(id));
+        RouteState state;
+        state.start = members[0].source;
+        state.start_time = 0;
+        state.capacity = k;
+
+        // Exact optimum.
+        KineticTree tree(state);
+        bool all = true;
+        for (const Request& r : members) {
+          if (!tree.Insert(r, &engine)) {
+            all = false;
+            break;
+          }
+        }
+        if (!all) continue;
+        double optimal = tree.BestCost(&engine);
+
+        // Release order.
+        std::vector<Request> by_release = members;
+        std::sort(by_release.begin(), by_release.end(),
+                  [](const Request& a, const Request& b) {
+                    return a.release_time < b.release_time;
+                  });
+        double lin_release = LinearCost(state, by_release, &engine);
+        if (lin_release >= 0) {
+          ++release_order.total;
+          if (lin_release <= optimal + 1e-6) ++release_order.optimal;
+        }
+
+        // Ascending shareability (degree) order.
+        std::vector<Request> by_degree = members;
+        std::sort(by_degree.begin(), by_degree.end(),
+                  [&sg](const Request& a, const Request& b) {
+                    return sg.Degree(a.id) < sg.Degree(b.id);
+                  });
+        double lin_degree = LinearCost(state, by_degree, &engine);
+        if (lin_degree >= 0) {
+          ++shareability_order.total;
+          if (lin_degree <= optimal + 1e-6) ++shareability_order.optimal;
+        }
+      }
+    }
+    std::printf("%-8d%-22s%14.3f%10d\n", k, "release time",
+                release_order.Rate(), release_order.total);
+    std::printf("%-8d%-22s%14.3f%10d\n", k, "ascending shareability",
+                shareability_order.Rate(), shareability_order.total);
+  }
+  std::printf("\npaper: release 0.89/0.85, shareability 0.91/0.90 (k=3/k=4)\n");
+  return 0;
+}

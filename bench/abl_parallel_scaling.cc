@@ -1,0 +1,74 @@
+// Ablation for the paper's scalability note ("multi-threading can speed up
+// the Shareability Graph building and acceptance stage as each vehicle
+// decides independently"): SARD with the parallel acceptance stage enabled,
+// swept over worker-thread counts, against the single-threaded default.
+// Result quality (service rate, unified cost) must be unaffected — the
+// parallelism is per-vehicle and decision-order independent — while the
+// acceptance stage's share of running time shrinks.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+using namespace structride;
+using namespace structride::bench;
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("\n================================================================\n");
+  std::printf("Scalability ablation: SARD parallel acceptance (threads sweep)\n");
+  std::printf("================================================================\n");
+  std::printf("%-8s%-10s%10s%16s%12s%10s\n", "city", "threads", "service",
+              "unified cost", "time (s)", "speedup");
+  for (const std::string& ds : {std::string("CHD"), std::string("NYC")}) {
+    DatasetSpec spec = DatasetByName(ds, scale);
+    spec.workload.duration *= scale;
+    // Triple the arrival rate: each vehicle's acceptance-phase grouping tree
+    // is what parallelizes, so batches must be busy enough for the thread
+    // sweep to mean something.
+    spec.workload.num_requests *= 3;
+    RoadNetwork net = BuildNetwork(&spec);
+    TravelCostEngine engine(net);
+    auto reqs = GenerateWorkload(net, &engine, spec.policy, spec.workload);
+    SimulationOptions sopts;
+    sopts.batch_period = 10;
+    sopts.seed = 4242;
+    SimulationEngine sim(&engine, reqs, sopts);
+    sim.SpawnFleet(spec.num_vehicles, spec.capacity);
+
+    // Warm the shared LRU travel-cost cache so the first measured point does
+    // not pay all the cache misses for the later ones.
+    {
+      DispatchConfig warm;
+      warm.vehicle_capacity = spec.capacity;
+      warm.grouping.max_group_size = spec.capacity;
+      sim.Run("SARD", warm);
+    }
+
+    double base_time = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      DispatchConfig c;
+      c.vehicle_capacity = spec.capacity;
+      c.grouping.max_group_size = spec.capacity;
+      c.sard_parallel_acceptance = threads > 1;
+      c.num_threads = threads;
+      RunMetrics r = sim.Run("SARD", c);
+      if (threads == 1) base_time = r.running_time;
+      std::printf("%-8s%-10d%10.3f%16.0f%12.2f%10.2f\n", ds.c_str(), threads,
+                  r.service_rate, r.unified_cost, r.running_time,
+                  r.running_time > 0 ? base_time / r.running_time : 0.0);
+    }
+  }
+  std::printf("\nService rate and unified cost are thread-count invariant (the\n"
+              "parallelism is per-vehicle and decision-order independent). At\n"
+              "bench scale the speedup hovers near 1: each proposal round spawns\n"
+              "its own worker set and most rounds carry only a handful of busy\n"
+              "vehicles, so thread startup and cold per-worker caches offset the\n"
+              "parallel grouping work. The paper's scalability note holds for\n"
+              "city-scale batches (thousands of proposals per round), not here —\n"
+              "an honest negative at this reproduction's scale.\n");
+  return 0;
+}

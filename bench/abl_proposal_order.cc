@@ -1,0 +1,49 @@
+// Ablation for the Alg. 3 proposal ordering: the paper's text pops the WORST
+// candidate vehicle first ("propose to vehicles needing more additional
+// travel costs first", Example 4); this bench compares that literal reading
+// against best-first proposals on both taxi datasets. In our simulator the
+// literal order loses 3-5 service-rate points and ~10% unified cost, which
+// is why the library defaults to best-first (DESIGN.md §4 documents the
+// deviation).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+
+using namespace structride;
+using namespace structride::bench;
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("\n================================================================\n");
+  std::printf("Alg. 3 ablation: SARD proposal order (worst-first vs best-first)\n");
+  std::printf("================================================================\n");
+  std::printf("%-8s%-14s%10s%14s%16s%12s\n", "city", "order", "service",
+              "travel", "unified cost", "time (s)");
+  for (const std::string& ds : {std::string("CHD"), std::string("NYC")}) {
+    DatasetSpec spec = DatasetByName(ds, scale);
+    spec.workload.duration *= scale;
+    RoadNetwork net = BuildNetwork(&spec);
+    TravelCostEngine engine(net);
+    auto reqs = GenerateWorkload(net, &engine, spec.policy, spec.workload);
+    SimulationOptions sopts;
+    sopts.batch_period = 5;
+    sopts.seed = 4242;
+    SimulationEngine sim(&engine, reqs, sopts);
+    sim.SpawnFleet(spec.num_vehicles, spec.capacity);
+    for (bool worst : {true, false}) {
+      DispatchConfig c;
+      c.vehicle_capacity = spec.capacity;
+      c.grouping.max_group_size = spec.capacity;
+      c.sard_propose_worst_first = worst;
+      RunMetrics r = sim.Run("SARD", c);
+      std::printf("%-8s%-14s%10.3f%14.0f%16.0f%12.2f\n", ds.c_str(),
+                  worst ? "worst-first" : "best-first", r.service_rate,
+                  r.travel_cost, r.unified_cost, r.running_time);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Structure metrics of real (builder-produced) shareability graphs across
+// the three dataset presets: the measurements behind the paper's theory —
+// power-law degree profile (Theorem IV.1's assumption), degeneracy, largest
+// clique omega (Eq. 7 regime), greedy capacity-bounded clique partition vs
+// the Bhasker-Samad bound theta'_upper (Eqs. 6/8) — with and without angle
+// pruning, so the pruning's structural footprint (Sec. III-B discussion) is
+// visible next to its Tables V/VI cost savings.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "sharegraph/analysis.h"
+#include "sharegraph/builder.h"
+#include "sim/datasets.h"
+#include "sim/workload.h"
+
+using namespace structride;
+using namespace structride::bench;
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("\n=====================================================================\n");
+  std::printf("Shareability-graph structure across datasets (one 60 s batch window)\n");
+  std::printf("=====================================================================\n");
+  std::printf("%-9s%-9s%7s%8s%9s%7s%7s%7s%10s%9s%8s\n", "city", "pruning",
+              "nodes", "edges", "mean-deg", "eta", "degen", "omega", "partition",
+              "theta'", "comps");
+  for (const std::string& ds :
+       {std::string("CHD"), std::string("NYC"), std::string("Cainiao")}) {
+    DatasetSpec spec = DatasetByName(ds, scale);
+    RoadNetwork net = BuildNetwork(&spec);
+    TravelCostEngine engine(net);
+    spec.workload.duration = 60;
+    spec.workload.num_requests = std::max(150, spec.workload.num_requests / 60);
+    std::vector<Request> window =
+        GenerateWorkload(net, &engine, spec.policy, spec.workload);
+
+    for (bool pruning : {false, true}) {
+      ShareGraphBuilderOptions opts;
+      opts.use_angle_pruning = pruning;
+      ShareGraphBuilder builder(&engine, opts);
+      builder.AddBatch(window);
+      StructureReport report =
+          AnalyzeStructure(builder.graph(), static_cast<size_t>(spec.capacity));
+      std::printf("%-9s%-9s%7zu%8zu%9.2f%7.2f%7d%7zu%10zu%9zu%8zu\n", ds.c_str(),
+                  pruning ? "angle" : "none", report.degrees.num_nodes,
+                  report.degrees.num_edges, report.degrees.mean_degree,
+                  report.degrees.power_law_exponent, report.degeneracy,
+                  report.max_clique, report.greedy_partition_cliques,
+                  report.partition_upper_bound, report.num_components);
+    }
+  }
+  std::printf("\nReading: angle pruning trims divergent-direction edges (lower mean\n"
+              "degree) while leaving the cohesive mass — degeneracy, omega and the\n"
+              "capacity-bounded partition count — nearly unchanged, which is why\n"
+              "Tables V/VI show query savings at flat service rates.\n");
+  return 0;
+}

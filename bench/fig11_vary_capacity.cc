@@ -1,0 +1,33 @@
+// Fig. 11 reproduction: metrics as the vehicle capacity c varies (2-6).
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::bench::BenchAlgorithms;
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+int main() {
+  const double scale = BenchScale();
+  const std::vector<int> capacities = {2, 3, 4, 5, 6};
+
+  for (const std::string& dataset : {std::string("CHD"), std::string("NYC")}) {
+    BenchContext ctx(dataset, scale);
+    std::vector<std::string> labels;
+    for (int c : capacities) labels.push_back("c=" + std::to_string(c));
+    SweepPrinter printer("Fig. 11 (" + dataset + "): varying capacity", labels);
+    for (const std::string& algo : BenchAlgorithms()) {
+      for (size_t i = 0; i < capacities.size(); ++i) {
+        PointParams p;
+        p.capacity = capacities[i];
+        printer.Record(algo, i, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  return 0;
+}

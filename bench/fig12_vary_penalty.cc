@@ -1,0 +1,37 @@
+// Fig. 12 reproduction: metrics as the penalty coefficient p_r varies
+// (2-30). Greedy methods' assignments are unaffected (the coefficient only
+// reprices the unified cost); RTV folds the penalty into its ILP.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::bench::BenchAlgorithms;
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+int main() {
+  const double scale = BenchScale();
+  const std::vector<double> penalties = {2, 5, 10, 20, 30};
+
+  for (const std::string& dataset : {std::string("CHD"), std::string("NYC")}) {
+    BenchContext ctx(dataset, scale);
+    std::vector<std::string> labels;
+    for (double pr : penalties) {
+      labels.push_back("pr=" + std::to_string(static_cast<int>(pr)));
+    }
+    SweepPrinter printer("Fig. 12 (" + dataset + "): varying penalty", labels);
+    for (const std::string& algo : BenchAlgorithms()) {
+      for (size_t i = 0; i < penalties.size(); ++i) {
+        PointParams p;
+        p.penalty = penalties[i];
+        printer.Record(algo, i, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 13 reproduction: batch-based methods (RTV, GAS, SARD) as the batching
+// period Delta varies (1-9 s).
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+int main() {
+  const double scale = BenchScale();
+  const std::vector<double> deltas = {1, 3, 5, 7, 9};
+  const std::vector<std::string> batch_algos = {"RTV", "GAS", "SARD"};
+
+  for (const std::string& dataset : {std::string("CHD"), std::string("NYC")}) {
+    BenchContext ctx(dataset, scale);
+    std::vector<std::string> labels;
+    for (double d : deltas) {
+      labels.push_back("D=" + std::to_string(static_cast<int>(d)) + "s");
+    }
+    SweepPrinter printer("Fig. 13 (" + dataset + "): varying batch period",
+                         labels);
+    for (const std::string& algo : batch_algos) {
+      for (size_t i = 0; i < deltas.size(); ++i) {
+        PointParams p;
+        p.batch_period = deltas[i];
+        printer.Record(algo, i, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 14 reproduction: peak memory of each algorithm's dominant structures
+// at the Table-III defaults, via instrumented byte accounting (DESIGN.md §4
+// explains the substitution for process-RSS measurement). Expected ordering:
+// RTV >> GAS ~= SARD > online methods.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+
+using structride::RunMetrics;
+using structride::bench::BenchAlgorithms;
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("\n================================================================\n");
+  std::printf("Fig. 14: Memory consumption (defaults, scale %.2f)\n", scale);
+  std::printf("================================================================\n");
+  std::printf("%-10s%-14s%16s%14s%14s\n", "dataset", "algorithm", "memory (KB)",
+              "service", "run (s)");
+  for (const std::string& dataset : {std::string("CHD"), std::string("NYC")}) {
+    BenchContext ctx(dataset, scale);
+    for (const std::string& algo : BenchAlgorithms()) {
+      PointParams p;
+      RunMetrics m = ctx.Run(algo, p);
+      std::printf("%-10s%-14s%16.0f%14.3f%14.2f\n", dataset.c_str(), algo.c_str(),
+                  static_cast<double>(m.memory_bytes) / 1e3, m.service_rate,
+                  m.running_time);
+    }
+  }
+  return 0;
+}

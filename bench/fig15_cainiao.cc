@@ -1,0 +1,105 @@
+// Fig. 15 reproduction (Appendix B): the five Cainiao sweeps — |W|, |R|,
+// gamma, p_r and Delta. DARM+DPRS is excluded, matching the paper
+// ("due to insufficient training data, we only report the results of
+// traditional algorithms").
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+namespace {
+
+const std::vector<std::string> kAlgos = {"RTV", "pruneGDP", "GAS",
+                                         "TicketAssign+", "SARD"};
+
+void Sweep(BenchContext* ctx, const std::string& title,
+           const std::vector<std::string>& labels,
+           const std::vector<PointParams>& points) {
+  SweepPrinter printer(title, labels);
+  for (const std::string& algo : kAlgos) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      printer.Record(algo, i, ctx->Run(algo, points[i]));
+    }
+  }
+  printer.Print();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale();
+  BenchContext ctx("Cainiao", scale);
+  const int default_w = ctx.spec().num_vehicles;
+  const int default_n = ctx.spec().workload.num_requests;
+
+  // |W|: paper 3K..5K around a 4K default => ratios 0.75 .. 1.25.
+  {
+    std::vector<PointParams> points;
+    std::vector<std::string> labels;
+    for (double f : {0.75, 0.875, 1.0, 1.125, 1.25}) {
+      PointParams p;
+      p.num_vehicles = static_cast<int>(std::lround(default_w * f));
+      points.push_back(p);
+      labels.push_back(std::to_string(p.num_vehicles));
+    }
+    Sweep(&ctx, "Fig. 15 (Cainiao): varying |W|", labels, points);
+  }
+  // |R|: paper 50K..150K around 100K => ratios 0.5 .. 1.5.
+  {
+    std::vector<PointParams> points;
+    std::vector<std::string> labels;
+    for (double f : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+      PointParams p;
+      p.num_requests = static_cast<int>(std::lround(default_n * f));
+      points.push_back(p);
+      labels.push_back(std::to_string(p.num_requests));
+    }
+    Sweep(&ctx, "Fig. 15 (Cainiao): varying |R|", labels, points);
+  }
+  // gamma: 1.8 .. 2.2.
+  {
+    std::vector<PointParams> points;
+    std::vector<std::string> labels;
+    for (double g : {1.8, 1.9, 2.0, 2.1, 2.2}) {
+      PointParams p;
+      p.gamma = g;
+      points.push_back(p);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "g=%.1f", g);
+      labels.push_back(buf);
+    }
+    Sweep(&ctx, "Fig. 15 (Cainiao): varying gamma", labels, points);
+  }
+  // p_r: 2 .. 30.
+  {
+    std::vector<PointParams> points;
+    std::vector<std::string> labels;
+    for (double pr : {2.0, 5.0, 10.0, 20.0, 30.0}) {
+      PointParams p;
+      p.penalty = pr;
+      points.push_back(p);
+      labels.push_back("pr=" + std::to_string(static_cast<int>(pr)));
+    }
+    Sweep(&ctx, "Fig. 15 (Cainiao): varying penalty", labels, points);
+  }
+  // Delta: 3 .. 7 s.
+  {
+    std::vector<PointParams> points;
+    std::vector<std::string> labels;
+    for (double d : {3.0, 4.0, 5.0, 6.0, 7.0}) {
+      PointParams p;
+      p.batch_period = d;
+      points.push_back(p);
+      labels.push_back("D=" + std::to_string(static_cast<int>(d)) + "s");
+    }
+    Sweep(&ctx, "Fig. 15 (Cainiao): varying batch period", labels, points);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 16 reproduction (Appendix B/C): Cainiao capacity sweep (c = 2..6)
+// and capacity-variance sweep (sigma = 0..2 with mean 4).
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+namespace {
+const std::vector<std::string> kAlgos = {"RTV", "pruneGDP", "GAS",
+                                         "TicketAssign+", "SARD"};
+}
+
+int main() {
+  const double scale = BenchScale();
+  BenchContext ctx("Cainiao", scale);
+
+  {
+    std::vector<std::string> labels;
+    for (int c : {2, 3, 4, 5, 6}) labels.push_back("c=" + std::to_string(c));
+    SweepPrinter printer("Fig. 16 (Cainiao): varying capacity", labels);
+    for (const std::string& algo : kAlgos) {
+      size_t i = 0;
+      for (int c : {2, 3, 4, 5, 6}) {
+        PointParams p;
+        p.capacity = c;
+        printer.Record(algo, i++, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  {
+    std::vector<std::string> labels;
+    for (double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "s=%.1f", s);
+      labels.push_back(buf);
+    }
+    SweepPrinter printer("Fig. 16 (Cainiao): varying capacity variance sigma",
+                         labels);
+    for (const std::string& algo : kAlgos) {
+      size_t i = 0;
+      for (double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+        PointParams p;
+        p.capacity_sigma = s;
+        printer.Record(algo, i++, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 17 reproduction (Appendix C): CHD and NYC under vehicle-capacity
+// distributions N(4, sigma), sigma = 0..2. The paper finds all algorithms
+// stable across sigma.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::bench::BenchAlgorithms;
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+int main() {
+  const double scale = BenchScale();
+  const std::vector<double> sigmas = {0.0, 0.5, 1.0, 1.5, 2.0};
+
+  for (const std::string& dataset : {std::string("CHD"), std::string("NYC")}) {
+    BenchContext ctx(dataset, scale);
+    std::vector<std::string> labels;
+    for (double s : sigmas) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "s=%.1f", s);
+      labels.push_back(buf);
+    }
+    SweepPrinter printer("Fig. 17 (" + dataset + "): varying capacity sigma",
+                         labels);
+    for (const std::string& algo : BenchAlgorithms()) {
+      for (size_t i = 0; i < sigmas.size(); ++i) {
+        PointParams p;
+        p.capacity_sigma = sigmas[i];
+        printer.Record(algo, i, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  return 0;
+}

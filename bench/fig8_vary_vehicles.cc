@@ -1,0 +1,44 @@
+// Fig. 8 reproduction: unified cost / service rate / running time as the
+// fleet size |W| varies (paper: 1K-5K vehicles around a 3K default; here the
+// same ratios around the scaled preset default).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::RunMetrics;
+using structride::bench::BenchAlgorithms;
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+int main() {
+  const double scale = BenchScale();
+  // Paper sweep 1K..5K with a 3K default: the same 1/3 .. 5/3 ratios.
+  const std::vector<double> fractions = {1.0 / 3, 2.0 / 3, 1.0, 4.0 / 3, 5.0 / 3};
+  const std::vector<std::string> paper_labels = {"~1K", "~2K", "~3K", "~4K", "~5K"};
+
+  for (const std::string& dataset : {std::string("CHD"), std::string("NYC")}) {
+    BenchContext ctx(dataset, scale);
+    std::vector<std::string> labels;
+    for (size_t i = 0; i < fractions.size(); ++i) {
+      int w = static_cast<int>(std::lround(ctx.spec().num_vehicles * fractions[i]));
+      labels.push_back(std::to_string(w) + "(" + paper_labels[i] + ")");
+    }
+    SweepPrinter printer("Fig. 8 (" + dataset + "): varying |W|", labels);
+    for (const std::string& algo : BenchAlgorithms()) {
+      for (size_t i = 0; i < fractions.size(); ++i) {
+        PointParams p;
+        p.num_vehicles =
+            static_cast<int>(std::lround(ctx.spec().num_vehicles * fractions[i]));
+        printer.Record(algo, i, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  return 0;
+}

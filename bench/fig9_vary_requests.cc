@@ -1,0 +1,42 @@
+// Fig. 9 reproduction: metrics as the request count |R| varies (paper:
+// 10K-250K around a 100K default; here the same ratios of the scaled preset).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+using structride::bench::BenchAlgorithms;
+using structride::bench::BenchContext;
+using structride::bench::BenchScale;
+using structride::bench::PointParams;
+using structride::bench::SweepPrinter;
+
+int main() {
+  const double scale = BenchScale();
+  const std::vector<double> fractions = {0.1, 0.5, 1.0, 1.5, 2.0, 2.5};
+  const std::vector<std::string> paper_labels = {"~10K",  "~50K",  "~100K",
+                                                 "~150K", "~200K", "~250K"};
+
+  for (const std::string& dataset : {std::string("CHD"), std::string("NYC")}) {
+    BenchContext ctx(dataset, scale);
+    std::vector<std::string> labels;
+    for (size_t i = 0; i < fractions.size(); ++i) {
+      int n = static_cast<int>(
+          std::lround(ctx.spec().workload.num_requests * fractions[i]));
+      labels.push_back(std::to_string(n) + "(" + paper_labels[i] + ")");
+    }
+    SweepPrinter printer("Fig. 9 (" + dataset + "): varying |R|", labels);
+    for (const std::string& algo : BenchAlgorithms()) {
+      for (size_t i = 0; i < fractions.size(); ++i) {
+        PointParams p;
+        p.num_requests = static_cast<int>(
+            std::lround(ctx.spec().workload.num_requests * fractions[i]));
+        printer.Record(algo, i, ctx.Run(algo, p));
+      }
+    }
+    printer.Print();
+  }
+  return 0;
+}

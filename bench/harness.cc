@@ -1,0 +1,149 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "sim/workload.h"
+#include "util/logging.h"
+
+namespace structride {
+namespace bench {
+
+double BenchScale() {
+  const char* env = std::getenv("STRUCTRIDE_SCALE");
+  if (env == nullptr) return 0.25;
+  double s = std::atof(env);
+  return s > 0 ? s : 0.25;
+}
+
+std::vector<std::string> BenchAlgorithms() {
+  const char* env = std::getenv("STRUCTRIDE_ALGOS");
+  if (env == nullptr) return AllDispatcherNames();
+  std::vector<std::string> out;
+  std::stringstream ss(env);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out.empty() ? AllDispatcherNames() : out;
+}
+
+BenchContext::BenchContext(const std::string& dataset, double scale)
+    : spec_(DatasetByName(dataset, scale)) {
+  // Scale the arrival window too, preserving the request density the
+  // comparative results depend on.
+  spec_.workload.duration *= scale;
+  net_ = BuildNetwork(&spec_);
+  engine_ = std::make_unique<TravelCostEngine>(net_);
+  std::fprintf(stderr, "[bench] %s: %zu nodes, %zu edges, %d requests, %d vehicles\n",
+               spec_.name.c_str(), net_.num_nodes(), net_.num_edges(),
+               spec_.workload.num_requests, spec_.num_vehicles);
+}
+
+void BenchContext::EnsureStream(double gamma, int num_requests) {
+  if (stream_gamma_ == gamma && stream_requests_ == num_requests) return;
+  DeadlinePolicy policy = spec_.policy;
+  policy.gamma = gamma;
+  WorkloadOptions wopts = spec_.workload;
+  wopts.num_requests = num_requests;
+  requests_ = GenerateWorkload(net_, engine_.get(), policy, wopts);
+  stream_gamma_ = gamma;
+  stream_requests_ = num_requests;
+}
+
+RunMetrics BenchContext::Run(const std::string& algorithm,
+                             const PointParams& params) {
+  double gamma = params.gamma > 0 ? params.gamma : spec_.policy.gamma;
+  int n = params.num_requests > 0 ? params.num_requests
+                                  : spec_.workload.num_requests;
+  EnsureStream(gamma, n);
+
+  SimulationOptions sopts;
+  sopts.batch_period = params.batch_period;
+  sopts.seed = 4242;
+  int capacity = params.capacity > 0 ? params.capacity : spec_.capacity;
+  sopts.capacity_sigma = params.capacity_sigma;
+  sopts.capacity_mean = params.capacity_sigma > 0 ? 4 : capacity;
+  if (params.capacity_sigma > 0) capacity = 4;  // Appendix C: mean 4
+
+  SimulationEngine sim(engine_.get(), requests_, sopts);
+  int vehicles = params.num_vehicles > 0 ? params.num_vehicles : spec_.num_vehicles;
+  sim.SpawnFleet(vehicles, capacity);
+
+  DispatchConfig config;
+  config.penalty_coefficient = params.penalty;
+  config.vehicle_capacity = capacity;
+  config.grouping.max_group_size = capacity;
+  config.sharegraph.vehicle_capacity = capacity;
+  config.sharegraph.use_angle_pruning = params.angle_pruning;
+  config.ilp_node_cap = 200'000;
+  config.num_threads = 4;
+
+  RunMetrics m = sim.Run(algorithm, config);
+  m.dataset = spec_.name;
+  return m;
+}
+
+SweepPrinter::SweepPrinter(std::string title, std::vector<std::string> labels)
+    : title_(std::move(title)), labels_(std::move(labels)) {}
+
+void SweepPrinter::Record(const std::string& algorithm, size_t col,
+                          const RunMetrics& m) {
+  SR_CHECK(col < labels_.size());
+  size_t row = algorithms_.size();
+  for (size_t i = 0; i < algorithms_.size(); ++i) {
+    if (algorithms_[i] == algorithm) {
+      row = i;
+      break;
+    }
+  }
+  if (row == algorithms_.size()) {
+    algorithms_.push_back(algorithm);
+    cells_.emplace_back(labels_.size());
+  }
+  cells_[row][col].set = true;
+  cells_[row][col].metrics = m;
+}
+
+void SweepPrinter::Print() const {
+  auto block = [&](const char* name, auto getter, const char* fmt) {
+    std::printf("\n%s — %s\n", title_.c_str(), name);
+    std::printf("%-14s", "algorithm");
+    for (const std::string& l : labels_) std::printf("%12s", l.c_str());
+    std::printf("\n");
+    for (size_t r = 0; r < algorithms_.size(); ++r) {
+      std::printf("%-14s", algorithms_[r].c_str());
+      for (size_t c = 0; c < labels_.size(); ++c) {
+        if (cells_[r][c].set) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), fmt, getter(cells_[r][c].metrics));
+          std::printf("%12s", buf);
+        } else {
+          std::printf("%12s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  };
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title_.c_str());
+  std::printf("================================================================\n");
+  block("Unified Cost", [](const RunMetrics& m) { return m.unified_cost; },
+        "%.0f");
+  block("Service Rate", [](const RunMetrics& m) { return m.service_rate; },
+        "%.3f");
+  block("Running Time (s)", [](const RunMetrics& m) { return m.running_time; },
+        "%.2f");
+  block("SP Queries (K)",
+        [](const RunMetrics& m) { return static_cast<double>(m.sp_queries) / 1e3; },
+        "%.0f");
+  block("Memory (KB)",
+        [](const RunMetrics& m) { return static_cast<double>(m.memory_bytes) / 1e3; },
+        "%.0f");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace structride

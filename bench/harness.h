@@ -1,0 +1,93 @@
+// Shared harness for the figure/table reproduction benches. Each bench
+// binary sweeps one Table-III/IV parameter and prints, for every algorithm,
+// the three series the paper plots (unified cost, service rate, running
+// time) plus the auxiliary columns (queries, memory).
+//
+// Scaling: workloads default to 1/4 of the already-scaled-down dataset
+// presets so that a full bench suite completes on one machine; set
+// STRUCTRIDE_SCALE to change (e.g. STRUCTRIDE_SCALE=1 for the DESIGN.md
+// default size; the paper's full size corresponds to ~25).
+// STRUCTRIDE_ALGOS=SARD,GAS filters algorithms.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/datasets.h"
+#include "sim/engine.h"
+
+namespace structride {
+namespace bench {
+
+/// \brief One sweep point's knobs (unset fields fall back to the dataset
+/// spec's Table-III defaults).
+struct PointParams {
+  int num_vehicles = -1;
+  int num_requests = -1;
+  int capacity = -1;
+  double gamma = -1;
+  double penalty = 10;
+  double batch_period = 5;
+  double capacity_sigma = 0;
+  bool angle_pruning = false;  ///< SARD-O when true (Tables V/VI)
+};
+
+/// \brief A dataset instantiated for benching: network + engine + a cached
+/// request stream (regenerated when gamma or request count changes).
+class BenchContext {
+ public:
+  /// \p scale multiplies the preset's request/fleet counts and duration.
+  BenchContext(const std::string& dataset, double scale);
+
+  /// \brief Run one (algorithm, parameters) point and return its metrics.
+  RunMetrics Run(const std::string& algorithm, const PointParams& params);
+
+  const DatasetSpec& spec() const { return spec_; }
+  const RoadNetwork& network() const { return net_; }
+  TravelCostEngine* engine() { return engine_.get(); }
+
+ private:
+  void EnsureStream(double gamma, int num_requests);
+
+  DatasetSpec spec_;
+  RoadNetwork net_;
+  std::unique_ptr<TravelCostEngine> engine_;
+  std::vector<Request> requests_;
+  double stream_gamma_ = -1;
+  int stream_requests_ = -1;
+};
+
+/// \brief Env-var scale (STRUCTRIDE_SCALE, default 0.25).
+double BenchScale();
+
+/// \brief Algorithms to bench: STRUCTRIDE_ALGOS filter or the paper's six.
+std::vector<std::string> BenchAlgorithms();
+
+/// \brief Pretty-print one sweep: for each metric block (unified cost,
+/// service rate, running time), algorithms as rows, sweep points as columns.
+class SweepPrinter {
+ public:
+  /// \p title e.g. "Fig. 8 (CHD): varying |W|"; \p labels column labels.
+  SweepPrinter(std::string title, std::vector<std::string> labels);
+
+  /// \brief Record the metrics of \p algorithm at sweep position \p col.
+  void Record(const std::string& algorithm, size_t col, const RunMetrics& m);
+
+  /// \brief Print all metric blocks to stdout.
+  void Print() const;
+
+ private:
+  struct Cell {
+    bool set = false;
+    RunMetrics metrics;
+  };
+  std::string title_;
+  std::vector<std::string> labels_;
+  std::vector<std::string> algorithms_;  // insertion order
+  std::vector<std::vector<Cell>> cells_;  // [algorithm][col]
+};
+
+}  // namespace bench
+}  // namespace structride

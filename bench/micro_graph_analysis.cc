@@ -1,0 +1,81 @@
+// Microbenchmarks for the shareability-graph structure analyses used by the
+// graph_analysis example and available through sharegraph/analysis.h: degree
+// profiling, k-core peeling, component labeling, maximal-clique enumeration
+// and the greedy bounded clique partition, at batch-realistic graph sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "sharegraph/analysis.h"
+#include "sharegraph/share_graph.h"
+#include "util/random.h"
+
+namespace structride {
+namespace {
+
+// Batch-like random graph: mean degree ~8 regardless of node count, matching
+// what the builder produces on NYC-like batches.
+ShareGraph BatchGraph(int n, uint64_t seed) {
+  Rng rng(seed);
+  ShareGraph g;
+  double p = std::min(1.0, 8.0 / n);
+  for (int v = 0; v < n; ++v) g.AddNode(v);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (rng.Uniform(0, 1) < p) g.AddEdge(a, b);
+    }
+  }
+  return g;
+}
+
+void BM_DegreeProfile(benchmark::State& state) {
+  ShareGraph g = BatchGraph(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(ComputeDegreeProfile(g));
+  state.SetLabel(std::to_string(g.NumEdges()) + " edges");
+}
+BENCHMARK(BM_DegreeProfile)->Arg(200)->Arg(1000);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  ShareGraph g = BatchGraph(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(ComputeCoreDecomposition(g));
+  state.SetLabel(std::to_string(g.NumEdges()) + " edges");
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(200)->Arg(1000);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  ShareGraph g = BatchGraph(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(ConnectedComponents(g));
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(200)->Arg(1000);
+
+void BM_MaximalCliques(benchmark::State& state) {
+  ShareGraph g = BatchGraph(static_cast<int>(state.range(0)), 4);
+  size_t cliques = 0;
+  for (auto _ : state) {
+    auto result = MaximalCliques(g);
+    cliques = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(cliques) + " cliques");
+}
+BENCHMARK(BM_MaximalCliques)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyCliquePartition(benchmark::State& state) {
+  ShareGraph g = BatchGraph(static_cast<int>(state.range(0)), 5);
+  size_t parts = 0;
+  for (auto _ : state) {
+    auto result = GreedyCliquePartition(g, 3);
+    parts = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(parts) + " cliques (k=3)");
+}
+BENCHMARK(BM_GreedyCliquePartition)->Arg(200)->Arg(1000);
+
+void BM_AnalyzeStructure(benchmark::State& state) {
+  ShareGraph g = BatchGraph(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) benchmark::DoNotOptimize(AnalyzeStructure(g, 3));
+}
+BENCHMARK(BM_AnalyzeStructure)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace structride

@@ -1,0 +1,97 @@
+// Microbenchmarks for the shortest-path substrate: hub-label queries vs
+// bidirectional Dijkstra, the LRU-cached engine, and index construction.
+
+#include <benchmark/benchmark.h>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/generator.h"
+#include "roadnet/hub_labeling.h"
+#include "roadnet/travel_cost.h"
+#include "util/random.h"
+
+namespace structride {
+namespace {
+
+const RoadNetwork& Net() {
+  static RoadNetwork net = [] {
+    CityOptions opt;
+    opt.rows = 40;
+    opt.cols = 40;
+    opt.seed = 9;
+    return GenerateGridCity(opt);
+  }();
+  return net;
+}
+
+const HubLabeling& Labels() {
+  static HubLabeling hl(Net());
+  return hl;
+}
+
+void BM_HubLabelQuery(benchmark::State& state) {
+  const RoadNetwork& net = Net();
+  const HubLabeling& hl = Labels();
+  Rng rng(1);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(0, net.num_nodes() - 1));
+    NodeId t = static_cast<NodeId>(rng.UniformInt(0, net.num_nodes() - 1));
+    benchmark::DoNotOptimize(hl.Query(s, t));
+  }
+}
+BENCHMARK(BM_HubLabelQuery);
+
+void BM_BidirectionalDijkstra(benchmark::State& state) {
+  const RoadNetwork& net = Net();
+  Rng rng(1);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(0, net.num_nodes() - 1));
+    NodeId t = static_cast<NodeId>(rng.UniformInt(0, net.num_nodes() - 1));
+    benchmark::DoNotOptimize(BidirectionalDijkstra(net, s, t));
+  }
+}
+BENCHMARK(BM_BidirectionalDijkstra);
+
+void BM_CachedEngineHot(benchmark::State& state) {
+  // Repeated queries over a small node set: the LRU absorbs nearly all.
+  static TravelCostEngine engine(Net());
+  Rng rng(2);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    pairs.emplace_back(
+        static_cast<NodeId>(rng.UniformInt(0, Net().num_nodes() - 1)),
+        static_cast<NodeId>(rng.UniformInt(0, Net().num_nodes() - 1)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [s, t] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(engine.Cost(s, t));
+  }
+}
+BENCHMARK(BM_CachedEngineHot);
+
+void BM_DijkstraAll(benchmark::State& state) {
+  const RoadNetwork& net = Net();
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(0, net.num_nodes() - 1));
+    benchmark::DoNotOptimize(DijkstraAll(net, s));
+  }
+}
+BENCHMARK(BM_DijkstraAll);
+
+void BM_HubLabelBuild(benchmark::State& state) {
+  CityOptions opt;
+  opt.rows = static_cast<int>(state.range(0));
+  opt.cols = static_cast<int>(state.range(0));
+  opt.seed = 11;
+  RoadNetwork net = GenerateGridCity(opt);
+  for (auto _ : state) {
+    HubLabeling hl(net);
+    benchmark::DoNotOptimize(hl.TotalLabelEntries());
+  }
+  state.SetLabel(std::to_string(net.num_nodes()) + " nodes");
+}
+BENCHMARK(BM_HubLabelBuild)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace structride
