@@ -75,7 +75,6 @@ int main() {
 
   for (const char* name : {"CHD", "NYC"}) {
     DatasetSpec spec = DatasetByName(name, 0.2);
-    spec.workload.duration *= 0.2;
     RoadNetwork net = BuildNetwork(&spec);
     TravelCostEngine engine(net);
     auto reqs = GenerateWorkload(net, &engine, spec.policy, spec.workload);

@@ -25,7 +25,6 @@ int main() {
               "unified cost", "time (s)", "speedup");
   for (const std::string& ds : {std::string("CHD"), std::string("NYC")}) {
     DatasetSpec spec = DatasetByName(ds, scale);
-    spec.workload.duration *= scale;
     // Triple the arrival rate: each vehicle's acceptance-phase grouping tree
     // is what parallelizes, so batches must be busy enough for the thread
     // sweep to mean something.

@@ -25,7 +25,6 @@ int main() {
               "travel", "unified cost", "time (s)");
   for (const std::string& ds : {std::string("CHD"), std::string("NYC")}) {
     DatasetSpec spec = DatasetByName(ds, scale);
-    spec.workload.duration *= scale;
     RoadNetwork net = BuildNetwork(&spec);
     TravelCostEngine engine(net);
     auto reqs = GenerateWorkload(net, &engine, spec.policy, spec.workload);

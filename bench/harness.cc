@@ -14,8 +14,16 @@ namespace bench {
 double BenchScale() {
   const char* env = std::getenv("STRUCTRIDE_SCALE");
   if (env == nullptr) return 0.25;
-  double s = std::atof(env);
-  return s > 0 ? s : 0.25;
+  char* end = nullptr;
+  double s = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(s > 0)) {
+    std::fprintf(stderr,
+                 "[bench] ignoring STRUCTRIDE_SCALE=\"%s\" (want a positive "
+                 "number); using the default 0.25\n",
+                 env);
+    return 0.25;
+  }
+  return s;
 }
 
 std::vector<std::string> BenchAlgorithms() {
@@ -32,9 +40,8 @@ std::vector<std::string> BenchAlgorithms() {
 
 BenchContext::BenchContext(const std::string& dataset, double scale)
     : spec_(DatasetByName(dataset, scale)) {
-  // Scale the arrival window too, preserving the request density the
-  // comparative results depend on.
-  spec_.workload.duration *= scale;
+  // DatasetByName already scaled the request count, fleet size and arrival
+  // window (exactly once — see sim/datasets.h); nothing to rescale here.
   net_ = BuildNetwork(&spec_);
   engine_ = std::make_unique<TravelCostEngine>(net_);
   std::fprintf(stderr, "[bench] %s: %zu nodes, %zu edges, %d requests, %d vehicles\n",

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Nightly smoke: run every bench binary at a small scale so regressions in
+# any figure/table reproduction surface quickly. Usage:
+#   bench/run_all.sh [build-dir]
+# Env: STRUCTRIDE_SCALE (default 0.05), STRUCTRIDE_ALGOS passthrough.
+set -u
+
+BUILD_DIR="${1:-build}"
+export STRUCTRIDE_SCALE="${STRUCTRIDE_SCALE:-0.05}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+  exit 2
+fi
+
+SWEEP_BENCHES="
+fig8_vary_vehicles fig9_vary_requests fig10_vary_deadline
+fig11_vary_capacity fig12_vary_penalty fig13_vary_batch fig14_memory
+fig15_cainiao fig16_capacity_sigma fig17_vary_sigma
+table5_angle_pruning_cainiao table6_angle_pruning
+abl_cancellations abl_parallel_scaling abl_proposal_order
+abl_angle_expectation abl_insertion_order abl_structure_metrics
+"
+MICRO_BENCHES="
+micro_insertion micro_shortest_path micro_grouping
+micro_graph_analysis micro_sharegraph abl_sp_backends
+"
+
+failures=0
+ran=0
+for bench in $SWEEP_BENCHES; do
+  exe="$BUILD_DIR/$bench"
+  if [ ! -x "$exe" ]; then
+    echo "missing: $bench" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "=== $bench (scale $STRUCTRIDE_SCALE) ==="
+  if ! "$exe"; then
+    echo "FAILED: $bench" >&2
+    failures=$((failures + 1))
+  fi
+  ran=$((ran + 1))
+done
+
+for bench in $MICRO_BENCHES; do
+  exe="$BUILD_DIR/$bench"
+  if [ ! -x "$exe" ]; then
+    echo "skipping $bench (not built; Google Benchmark missing?)" >&2
+    continue
+  fi
+  echo "=== $bench ==="
+  if ! "$exe" --benchmark_min_time=0.01; then
+    echo "FAILED: $bench" >&2
+    failures=$((failures + 1))
+  fi
+  ran=$((ran + 1))
+done
+
+echo
+echo "run_all: $ran benches, $failures failures"
+[ "$failures" -eq 0 ]

@@ -1,0 +1,139 @@
+#include "core/insertion.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace structride {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+InsertionCandidate BestInsertion(const RouteState& state,
+                                 const Schedule& schedule,
+                                 const Request& request,
+                                 TravelCostEngine* engine,
+                                 const InsertionOptions& options) {
+  InsertionCandidate best;
+  const std::vector<Stop>& stops = schedule.stops();
+  size_t n = stops.size();
+
+  // Base walk: per-stop service times and leg costs (also the base cost the
+  // delta is measured against).
+  std::vector<double> base_time(n);
+  std::vector<double> base_leg(n);
+  {
+    double t = state.start_time;
+    NodeId pos = state.start;
+    double total = 0;
+    for (size_t k = 0; k < n; ++k) {
+      double leg = stops[k].node == pos ? 0.0 : engine->Cost(pos, stops[k].node);
+      t += leg;
+      total += leg;
+      pos = stops[k].node;
+      if (t > stops[k].deadline + 1e-7) return best;  // base already broken
+      if (stops[k].kind == StopKind::kPickup && t < stops[k].earliest) {
+        t = stops[k].earliest;
+      }
+      base_time[k] = t;
+      base_leg[k] = leg;
+    }
+    best.total_cost = total;  // reused below as base cost
+  }
+  double base_cost = n == 0 ? 0 : best.total_cost;
+  best.total_cost = kInf;
+
+  const RoadNetwork& net = engine->network();
+  const Point& src = net.position(request.source);
+  const Point& dst = net.position(request.destination);
+  auto node_pos = [&](size_t k) { return net.position(stops[k].node); };
+  auto start_pos = [&] { return net.position(state.start); };
+
+  // Euclidean lower bound on the extra cost of splicing point p between the
+  // endpoints of original leg k (k == n appends after the last stop).
+  auto detour_lb = [&](size_t k, const Point& p) {
+    Point prev = k == 0 ? start_pos() : node_pos(k - 1);
+    if (k == n) return EuclidDistance(prev, p);
+    return EuclidDistance(prev, p) + EuclidDistance(p, node_pos(k)) -
+           base_leg[k];
+  };
+
+  std::vector<Stop> candidate;
+  candidate.reserve(n + 2);
+  for (size_t i = 0; i <= n; ++i) {
+    if (options.use_pruning) {
+      // The vehicle reaches the pickup no earlier than the base time at the
+      // preceding stop; once that alone misses the pickup deadline, every
+      // later position misses it too.
+      double prefix = i == 0 ? state.start_time : base_time[i - 1];
+      if (prefix > request.latest_pickup + 1e-7) break;
+      if (detour_lb(i, src) >= best.delta_cost) continue;
+    }
+    for (size_t j = i; j <= n; ++j) {
+      if (options.use_pruning) {
+        double lb;
+        if (j == i) {
+          // src then dst spliced into the same original leg i.
+          Point prev = i == 0 ? start_pos() : node_pos(i - 1);
+          lb = EuclidDistance(prev, src) + EuclidDistance(src, dst);
+          if (i < n) lb += EuclidDistance(dst, node_pos(i)) - base_leg[i];
+        } else {
+          lb = detour_lb(i, src) + detour_lb(j, dst);
+        }
+        if (lb >= best.delta_cost) continue;
+      }
+      candidate.clear();
+      candidate.insert(candidate.end(), stops.begin(),
+                       stops.begin() + static_cast<long>(i));
+      candidate.push_back(PickupStop(request));
+      candidate.insert(candidate.end(), stops.begin() + static_cast<long>(i),
+                       stops.begin() + static_cast<long>(j));
+      candidate.push_back(DropoffStop(request));
+      candidate.insert(candidate.end(), stops.begin() + static_cast<long>(j),
+                       stops.end());
+      auto [ok, cost] = CheckSchedule(state, candidate, engine);
+      if (!ok) continue;
+      double delta = cost - base_cost;
+      if (delta < best.delta_cost) {
+        best.feasible = true;
+        best.pickup_pos = i;
+        best.dropoff_pos = j;
+        best.delta_cost = delta;
+        best.total_cost = cost;
+      }
+    }
+  }
+  return best;
+}
+
+Schedule ApplyInsertion(const Schedule& schedule, const Request& request,
+                        const InsertionCandidate& candidate) {
+  SR_CHECK(candidate.feasible);
+  const std::vector<Stop>& stops = schedule.stops();
+  SR_CHECK(candidate.pickup_pos <= candidate.dropoff_pos);
+  SR_CHECK(candidate.dropoff_pos <= stops.size());
+  std::vector<Stop> out;
+  out.reserve(stops.size() + 2);
+  out.insert(out.end(), stops.begin(),
+             stops.begin() + static_cast<long>(candidate.pickup_pos));
+  out.push_back(PickupStop(request));
+  out.insert(out.end(), stops.begin() + static_cast<long>(candidate.pickup_pos),
+             stops.begin() + static_cast<long>(candidate.dropoff_pos));
+  out.push_back(DropoffStop(request));
+  out.insert(out.end(), stops.begin() + static_cast<long>(candidate.dropoff_pos),
+             stops.end());
+  return Schedule(std::move(out));
+}
+
+double TryInsertAndCommit(Vehicle* vehicle, const Request& request, double now,
+                          TravelCostEngine* engine) {
+  InsertionCandidate cand = BestInsertion(vehicle->route_state(now),
+                                          vehicle->schedule(), request, engine);
+  if (!cand.feasible) return kInf;
+  Schedule updated = ApplyInsertion(vehicle->schedule(), request, cand);
+  if (!vehicle->CommitSchedule(updated, now, engine)) return kInf;
+  return cand.delta_cost;
+}
+
+}  // namespace structride

@@ -1,0 +1,48 @@
+// The linear insertion operator (Sec. IV-A): place one request's pickup and
+// dropoff into an existing stop sequence at minimum extra travel cost. The
+// optional pruning skips position pairs whose Euclidean detour lower bound
+// already exceeds the incumbent, without ever changing the result.
+
+#pragma once
+
+#include <limits>
+
+#include "core/schedule.h"
+#include "core/vehicle.h"
+
+namespace structride {
+
+struct InsertionOptions {
+  bool use_pruning = true;
+};
+
+struct InsertionCandidate {
+  bool feasible = false;
+  /// Pickup goes before original stop index pickup_pos; dropoff before
+  /// original stop index dropoff_pos (>= pickup_pos; equal means the dropoff
+  /// immediately follows the pickup).
+  size_t pickup_pos = 0;
+  size_t dropoff_pos = 0;
+  double delta_cost = std::numeric_limits<double>::infinity();
+  double total_cost = std::numeric_limits<double>::infinity();
+};
+
+/// Best feasible insertion of \p request into \p schedule evaluated from
+/// \p state; infeasible candidate if none exists.
+InsertionCandidate BestInsertion(const RouteState& state,
+                                 const Schedule& schedule,
+                                 const Request& request,
+                                 TravelCostEngine* engine,
+                                 const InsertionOptions& options = {});
+
+/// Materializes the stop sequence described by a feasible candidate.
+Schedule ApplyInsertion(const Schedule& schedule, const Request& request,
+                        const InsertionCandidate& candidate);
+
+/// Convenience used by online dispatchers and benches: best insertion into
+/// the vehicle's remaining schedule at time \p now, committed on success.
+/// Returns the delta cost, or +infinity if no feasible insertion exists.
+double TryInsertAndCommit(Vehicle* vehicle, const Request& request, double now,
+                          TravelCostEngine* engine);
+
+}  // namespace structride

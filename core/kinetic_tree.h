@@ -1,0 +1,42 @@
+// Kinetic tree: maintains every feasible ordering of the inserted requests'
+// stops, so it answers the exact optimum that linear insertion approximates
+// (the Sec. IV-A tradeoff: exponential state for exactness).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace structride {
+
+class KineticTree {
+ public:
+  explicit KineticTree(const RouteState& root) : root_(root) {}
+
+  /// Inserts the request into every held ordering at every feasible
+  /// position pair. Returns false — leaving the tree unchanged — if no
+  /// feasible ordering survives.
+  bool Insert(const Request& request, TravelCostEngine* engine);
+
+  /// Number of feasible stop orderings currently held.
+  size_t NumSchedules() const { return schedules_.size(); }
+
+  /// Minimum travel cost over all held orderings (+infinity when empty).
+  double BestCost(TravelCostEngine* engine) const;
+
+  const std::vector<std::vector<Stop>>& schedules() const { return schedules_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  // Safety valve: beyond this many orderings the cheapest ones are kept.
+  static constexpr size_t kMaxSchedules = 4096;
+
+  RouteState root_;
+  std::vector<std::vector<Stop>> schedules_;
+  bool empty_tree_ = true;  ///< distinguishes "no requests yet" from pruned
+};
+
+}  // namespace structride

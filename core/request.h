@@ -1,0 +1,26 @@
+// A ride request and its deadline bookkeeping. Deadlines follow the paper's
+// single-knob policy: a request released at e_r with direct cost t(s,e) must
+// be dropped off by e_r + gamma * t(s,e); the latest feasible pickup follows
+// by subtracting the direct leg.
+
+#pragma once
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+
+namespace structride {
+
+using RequestId = int64_t;
+
+struct Request {
+  RequestId id = 0;
+  NodeId source = 0;
+  NodeId destination = 0;
+  double release_time = 0;
+  double direct_cost = 0;    ///< t(source, destination)
+  double deadline = 0;       ///< latest dropoff time
+  double latest_pickup = 0;  ///< deadline - direct_cost
+};
+
+}  // namespace structride

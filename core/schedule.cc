@@ -1,0 +1,47 @@
+#include "core/schedule.h"
+
+namespace structride {
+
+namespace {
+constexpr double kEps = 1e-7;
+
+template <typename CostFn>
+std::pair<bool, double> Walk(const RouteState& state,
+                             const std::vector<Stop>& stops, CostFn cost_fn) {
+  double t = state.start_time;
+  NodeId pos = state.start;
+  int load = state.onboard;
+  double total = 0;
+  for (const Stop& stop : stops) {
+    double leg = stop.node == pos ? 0.0 : cost_fn(pos, stop.node);
+    t += leg;
+    total += leg;
+    pos = stop.node;
+    if (t > stop.deadline + kEps) return {false, total};
+    if (stop.kind == StopKind::kPickup) {
+      if (t < stop.earliest) t = stop.earliest;
+      if (++load > state.capacity) return {false, total};
+    } else {
+      --load;
+    }
+  }
+  return {true, total};
+}
+}  // namespace
+
+std::pair<bool, double> CheckSchedule(const RouteState& state,
+                                      const std::vector<Stop>& stops,
+                                      TravelCostEngine* engine) {
+  return Walk(state, stops,
+              [engine](NodeId a, NodeId b) { return engine->Cost(a, b); });
+}
+
+std::pair<bool, double> CheckScheduleLowerBound(
+    const RouteState& state, const std::vector<Stop>& stops,
+    const TravelCostEngine* engine) {
+  return Walk(state, stops, [engine](NodeId a, NodeId b) {
+    return engine->LowerBound(a, b);
+  });
+}
+
+}  // namespace structride

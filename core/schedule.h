@@ -1,0 +1,72 @@
+// Stop sequences and their feasibility/cost evaluation — the shared
+// currency of every insertion operator, grouping enumerator and dispatcher.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/request.h"
+#include "roadnet/travel_cost.h"
+
+namespace structride {
+
+enum class StopKind { kPickup, kDropoff };
+
+struct Stop {
+  RequestId request = 0;
+  NodeId node = 0;
+  StopKind kind = StopKind::kPickup;
+  double earliest = 0;  ///< pickups: release time (vehicle waits if early)
+  double deadline = 0;  ///< pickups: latest pickup; dropoffs: latest dropoff
+};
+
+inline Stop PickupStop(const Request& r) {
+  return {r.id, r.source, StopKind::kPickup, r.release_time, r.latest_pickup};
+}
+inline Stop DropoffStop(const Request& r) {
+  return {r.id, r.destination, StopKind::kDropoff, 0, r.deadline};
+}
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Stop> stops) : stops_(std::move(stops)) {}
+
+  const std::vector<Stop>& stops() const { return stops_; }
+  std::vector<Stop>& mutable_stops() { return stops_; }
+  bool empty() const { return stops_.empty(); }
+  size_t size() const { return stops_.size(); }
+
+ private:
+  std::vector<Stop> stops_;
+};
+
+/// The vehicle-side context a schedule is evaluated against: where the
+/// vehicle is, when it is free there, how many seats it has and how many are
+/// already occupied by riders whose dropoffs appear in the schedule.
+struct RouteState {
+  NodeId start = 0;
+  double start_time = 0;
+  int capacity = 0;
+  int onboard = 0;
+};
+
+/// Simulates the stop sequence from \p state: waits at early pickups,
+/// enforces every deadline and the seat capacity. Returns {feasible,
+/// total travel cost}; on infeasibility the cost is the partial cost up to
+/// the violation (useful only for diagnostics).
+std::pair<bool, double> CheckSchedule(const RouteState& state,
+                                      const std::vector<Stop>& stops,
+                                      TravelCostEngine* engine);
+
+/// Same simulation under the Euclidean lower-bound metric — no shortest-path
+/// queries. If this returns false the schedule is infeasible under the real
+/// metric too (costs only grow), which is what makes the angle/insertion
+/// pruning sound.
+std::pair<bool, double> CheckScheduleLowerBound(const RouteState& state,
+                                                const std::vector<Stop>& stops,
+                                                const TravelCostEngine* engine);
+
+}  // namespace structride

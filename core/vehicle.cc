@@ -1,0 +1,67 @@
+#include "core/vehicle.h"
+
+#include "util/logging.h"
+
+namespace structride {
+
+bool Vehicle::CommitSchedule(const Schedule& schedule, double now,
+                             TravelCostEngine* engine) {
+  RouteState state = route_state(now);
+  std::vector<double> arrivals;
+  std::vector<double> legs;
+  arrivals.reserve(schedule.size());
+  legs.reserve(schedule.size());
+
+  double t = state.start_time;
+  NodeId pos = state.start;
+  int load = state.onboard;
+  for (const Stop& stop : schedule.stops()) {
+    double leg = stop.node == pos ? 0.0 : engine->Cost(pos, stop.node);
+    t += leg;
+    pos = stop.node;
+    if (t > stop.deadline + 1e-7) return false;
+    if (stop.kind == StopKind::kPickup) {
+      if (t < stop.earliest) t = stop.earliest;
+      if (++load > capacity_) return false;
+    } else {
+      --load;
+    }
+    arrivals.push_back(t);
+    legs.push_back(leg);
+  }
+
+  schedule_ = schedule;
+  arrivals_ = std::move(arrivals);
+  legs_ = std::move(legs);
+  time_ = state.start_time;
+  return true;
+}
+
+void Vehicle::AdvanceTo(double now,
+                        const std::function<void(const Stop&, double)>& on_stop) {
+  size_t done = 0;
+  const auto& stops = schedule_.stops();
+  while (done < stops.size() && arrivals_[done] <= now) {
+    const Stop& stop = stops[done];
+    travel_cost_ += legs_[done];
+    node_ = stop.node;
+    time_ = arrivals_[done];
+    if (stop.kind == StopKind::kPickup) {
+      ++onboard_;
+    } else {
+      SR_CHECK(onboard_ > 0);
+      --onboard_;
+    }
+    if (on_stop) on_stop(stop, arrivals_[done]);
+    ++done;
+  }
+  if (done > 0) {
+    auto& mutable_stops = schedule_.mutable_stops();
+    mutable_stops.erase(mutable_stops.begin(),
+                        mutable_stops.begin() + static_cast<long>(done));
+    arrivals_.erase(arrivals_.begin(), arrivals_.begin() + static_cast<long>(done));
+    legs_.erase(legs_.begin(), legs_.begin() + static_cast<long>(done));
+  }
+}
+
+}  // namespace structride

@@ -1,0 +1,59 @@
+// A vehicle: current position/time, seat usage, and its committed stop
+// sequence with precomputed arrival times. Movement follows the committed
+// model documented in DESIGN.md §4: the vehicle is considered to be at the
+// last completed stop; committing a new schedule re-times every remaining
+// stop from there and must pass a full feasibility check, so promises made
+// to committed riders are never broken.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace structride {
+
+class Vehicle {
+ public:
+  Vehicle(int id, NodeId start, int capacity)
+      : id_(id), node_(start), capacity_(capacity) {}
+
+  int id() const { return id_; }
+  int capacity() const { return capacity_; }
+  int onboard() const { return onboard_; }
+  NodeId node() const { return node_; }
+  bool idle() const { return schedule_.empty(); }
+  double total_travel_cost() const { return travel_cost_; }
+
+  const Schedule& schedule() const { return schedule_; }
+
+  /// Vehicle-side context for evaluating schedule edits at time \p now.
+  RouteState route_state(double now) const {
+    return {node_, now > time_ ? now : time_, capacity_, onboard_};
+  }
+
+  /// Replaces the remaining schedule, re-timing every stop from
+  /// route_state(now). Returns false (and leaves the vehicle untouched) if
+  /// the new schedule is infeasible.
+  bool CommitSchedule(const Schedule& schedule, double now,
+                      TravelCostEngine* engine);
+
+  /// Completes every stop serviced by \p now; invokes \p on_stop with the
+  /// stop and its service time, in order.
+  void AdvanceTo(double now,
+                 const std::function<void(const Stop&, double)>& on_stop);
+
+ private:
+  int id_;
+  NodeId node_;
+  int capacity_;
+  int onboard_ = 0;
+  double time_ = 0;  ///< time the vehicle became free at node_
+  double travel_cost_ = 0;
+  Schedule schedule_;
+  std::vector<double> arrivals_;  ///< service time per remaining stop
+  std::vector<double> legs_;     ///< travel cost into each remaining stop
+};
+
+}  // namespace structride

@@ -1,0 +1,152 @@
+// The online insertion baselines and the learning-method surrogate.
+//
+//  - pruneGDP: greedy min-delta insertion at release, with the
+//    lower-bound reachability prune over a distance-sorted fleet scan.
+//  - TicketAssign+: first-feasible insertion among the nearest vehicles
+//    (a bucketed nearest-candidate scheme; faster, slightly worse).
+//  - DARM+DPRS: the paper compares against a learned dispatcher; without
+//    its training data this is an honest heuristic surrogate — delay-
+//    tolerant batched insertion that holds a request back while its slack
+//    allows a cheaper shared match (DESIGN.md §4).
+
+#include <limits>
+#include <unordered_set>
+
+#include "dispatch/common.h"
+#include "dispatch/dispatcher.h"
+
+namespace structride {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class PruneGdpDispatcher : public Dispatcher {
+ public:
+  using Dispatcher::Dispatcher;
+
+  void OnBatch(DispatchContext* ctx) override {
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const RoadNetwork& net = ctx->engine->network();
+    for (const Request* r : ctx->pending) {
+      double best = kInf;
+      size_t best_vehicle = 0;
+      Schedule best_schedule;
+      for (size_t vi : dispatch::VehiclesByDistance(fleet, net, r->source)) {
+        Vehicle& v = fleet[vi];
+        // Reachability prune: the scan is sorted by straight-line distance,
+        // so once even the straight line misses the pickup deadline every
+        // later vehicle misses it too.
+        if (ctx->now + net.EuclidLowerBound(v.node(), r->source) >
+            r->latest_pickup) {
+          break;
+        }
+        InsertionCandidate cand =
+            BestInsertion(v.route_state(ctx->now), v.schedule(), *r,
+                          ctx->engine);
+        if (cand.feasible && cand.delta_cost < best) {
+          best = cand.delta_cost;
+          best_vehicle = vi;
+          best_schedule = ApplyInsertion(v.schedule(), *r, cand);
+        }
+      }
+      if (best < kInf &&
+          fleet[best_vehicle].CommitSchedule(best_schedule, ctx->now,
+                                             ctx->engine)) {
+        ctx->assigned.push_back(r->id);
+      } else {
+        ctx->rejected.push_back(r->id);  // online: no second chance
+      }
+    }
+    NotePeak(fleet.size() * sizeof(double) +
+             ctx->pending.size() * sizeof(Request*));
+  }
+};
+
+class TicketAssignDispatcher : public Dispatcher {
+ public:
+  using Dispatcher::Dispatcher;
+
+  void OnBatch(DispatchContext* ctx) override {
+    constexpr size_t kScanLimit = 16;
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const RoadNetwork& net = ctx->engine->network();
+    for (const Request* r : ctx->pending) {
+      bool placed = false;
+      size_t scanned = 0;
+      for (size_t vi : dispatch::VehiclesByDistance(fleet, net, r->source)) {
+        if (++scanned > kScanLimit) break;
+        Vehicle& v = fleet[vi];
+        InsertionCandidate cand =
+            BestInsertion(v.route_state(ctx->now), v.schedule(), *r,
+                          ctx->engine);
+        if (!cand.feasible) continue;
+        Schedule updated = ApplyInsertion(v.schedule(), *r, cand);
+        if (v.CommitSchedule(updated, ctx->now, ctx->engine)) {
+          ctx->assigned.push_back(r->id);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) ctx->rejected.push_back(r->id);
+    }
+    NotePeak(kScanLimit * sizeof(size_t) +
+             ctx->pending.size() * sizeof(Request*));
+  }
+};
+
+class DarmDprsDispatcher : public Dispatcher {
+ public:
+  using Dispatcher::Dispatcher;
+
+  void OnBatch(DispatchContext* ctx) override {
+    // Hold a request back while it still has slack and no cheap (likely
+    // shared) placement exists; assign unconditionally once it gets urgent.
+    constexpr size_t kScanLimit = 16;
+    constexpr double kCheapRatio = 0.6;   // delta <= 60% of the direct cost
+    constexpr double kUrgentSlack = 60;   // seconds of pickup slack
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const RoadNetwork& net = ctx->engine->network();
+    for (const Request* r : ctx->pending) {
+      double best = kInf;
+      size_t best_vehicle = 0;
+      Schedule best_schedule;
+      size_t scanned = 0;
+      for (size_t vi : dispatch::VehiclesByDistance(fleet, net, r->source)) {
+        if (++scanned > kScanLimit) break;
+        Vehicle& v = fleet[vi];
+        InsertionCandidate cand =
+            BestInsertion(v.route_state(ctx->now), v.schedule(), *r,
+                          ctx->engine);
+        if (cand.feasible && cand.delta_cost < best) {
+          best = cand.delta_cost;
+          best_vehicle = vi;
+          best_schedule = ApplyInsertion(v.schedule(), *r, cand);
+        }
+      }
+      if (best == kInf) continue;  // stays pending until slack runs out
+      double slack = r->latest_pickup - ctx->now;
+      if (best <= kCheapRatio * r->direct_cost || slack <= kUrgentSlack) {
+        if (fleet[best_vehicle].CommitSchedule(best_schedule, ctx->now,
+                                               ctx->engine)) {
+          ctx->assigned.push_back(r->id);
+        }
+      }
+    }
+    NotePeak(ctx->pending.size() * (sizeof(Request*) + sizeof(double)) +
+             kScanLimit * sizeof(size_t));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> MakePruneGdp(const DispatchConfig& config) {
+  return std::make_unique<PruneGdpDispatcher>(config);
+}
+std::unique_ptr<Dispatcher> MakeTicketAssign(const DispatchConfig& config) {
+  return std::make_unique<TicketAssignDispatcher>(config);
+}
+std::unique_ptr<Dispatcher> MakeDarmDprs(const DispatchConfig& config) {
+  return std::make_unique<DarmDprsDispatcher>(config);
+}
+
+}  // namespace structride

@@ -1,0 +1,216 @@
+// The batch comparison methods.
+//
+//  - GAS: per-batch shareability graph, best-of-all-parents group
+//    enumeration per vehicle, then a cost-per-rider greedy assignment.
+//  - RTV: the request-trip-vehicle pipeline — the same enumeration but
+//    exhaustive up to the ILP node cap, with every trip materialized (the
+//    memory hog of Fig. 14) and an anytime assignment: penalty-folded
+//    greedy over trips plus a per-request improvement pass standing in for
+//    the ILP solve (degrading to the incumbent instead of blowing up).
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dispatch/common.h"
+#include "dispatch/dispatcher.h"
+
+namespace structride {
+namespace {
+
+struct TripCandidate {
+  size_t vehicle = 0;
+  CandidateGroup group;
+};
+
+// Deterministic candidate ordering shared by both methods.
+bool OrderCandidates(const TripCandidate& a, const TripCandidate& b,
+                     double a_key, double b_key) {
+  if (a_key != b_key) return a_key < b_key;
+  if (a.vehicle != b.vehicle) return a.vehicle < b.vehicle;
+  return a.group.members < b.group.members;
+}
+
+class GasDispatcher : public Dispatcher {
+ public:
+  using Dispatcher::Dispatcher;
+
+  void OnBatch(DispatchContext* ctx) override {
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    std::vector<Request> pool;
+    pool.reserve(ctx->pending.size());
+    for (const Request* r : ctx->pending) pool.push_back(*r);
+    if (pool.empty()) return;
+
+    ShareGraphBuilder builder(ctx->engine, config_.sharegraph);
+    builder.AddBatch(pool);
+
+    GroupingOptions gopts = config_.grouping;
+    gopts.insertion_order = InsertionOrderPolicy::kBestOfAllParents;
+    gopts.max_group_size =
+        std::min(gopts.max_group_size, config_.vehicle_capacity);
+
+    std::vector<TripCandidate> candidates;
+    size_t grouping_bytes = 0;
+    for (size_t vi = 0; vi < fleet.size(); ++vi) {
+      GroupingResult res =
+          EnumerateGroups(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
+                          pool, &builder.graph(), ctx->engine, gopts);
+      grouping_bytes += GroupingMemoryBytes(res);
+      for (CandidateGroup& g : res.groups) {
+        candidates.push_back({vi, std::move(g)});
+      }
+    }
+    NotePeak(builder.MemoryBytes() + grouping_bytes +
+             candidates.size() * sizeof(TripCandidate));
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const TripCandidate& a, const TripCandidate& b) {
+                return OrderCandidates(
+                    a, b,
+                    a.group.delta_cost / static_cast<double>(a.group.members.size()),
+                    b.group.delta_cost / static_cast<double>(b.group.members.size()));
+              });
+
+    std::unordered_set<size_t> used_vehicles;
+    std::unordered_set<RequestId> taken;
+    for (const TripCandidate& c : candidates) {
+      if (used_vehicles.count(c.vehicle)) continue;
+      bool conflict = false;
+      for (RequestId id : c.group.members) {
+        if (taken.count(id)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      if (!fleet[c.vehicle].CommitSchedule(c.group.schedule, ctx->now,
+                                           ctx->engine)) {
+        continue;
+      }
+      used_vehicles.insert(c.vehicle);
+      for (RequestId id : c.group.members) {
+        taken.insert(id);
+        ctx->assigned.push_back(id);
+      }
+    }
+  }
+};
+
+class RtvDispatcher : public Dispatcher {
+ public:
+  using Dispatcher::Dispatcher;
+
+  void OnBatch(DispatchContext* ctx) override {
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    std::vector<Request> pool;
+    pool.reserve(ctx->pending.size());
+    for (const Request* r : ctx->pending) pool.push_back(*r);
+    if (pool.empty()) return;
+
+    // RR edges (the shareability graph) and per-vehicle trip enumeration.
+    ShareGraphBuilder builder(ctx->engine, config_.sharegraph);
+    builder.AddBatch(pool);
+
+    GroupingOptions gopts = config_.grouping;
+    gopts.insertion_order = InsertionOrderPolicy::kBestOfAllParents;
+    gopts.max_group_size = config_.vehicle_capacity;
+
+    std::vector<TripCandidate> trips;
+    int64_t node_budget = config_.ilp_node_cap;
+    for (size_t vi = 0; vi < fleet.size() && node_budget > 0; ++vi) {
+      gopts.max_groups = static_cast<size_t>(node_budget);
+      GroupingResult res =
+          EnumerateGroups(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
+                          pool, &builder.graph(), ctx->engine, gopts);
+      node_budget -= static_cast<int64_t>(res.groups.size());
+      for (CandidateGroup& g : res.groups) {
+        trips.push_back({vi, std::move(g)});
+      }
+    }
+    size_t trip_bytes = trips.size() * sizeof(TripCandidate);
+    for (const TripCandidate& t : trips) {
+      trip_bytes += t.group.members.size() * sizeof(RequestId) +
+                    t.group.schedule.size() * sizeof(Stop);
+    }
+    NotePeak(builder.MemoryBytes() + trip_bytes);
+
+    // The assignment objective folds the unassignment penalty in: picking a
+    // trip saves penalty * sum(direct costs) against its extra travel.
+    std::unordered_map<RequestId, double> direct;
+    for (const Request& r : pool) direct[r.id] = r.direct_cost;
+    // Decorate-sort: one net cost per trip, not one per comparison.
+    std::vector<double> net(trips.size());
+    std::vector<size_t> order(trips.size());
+    for (size_t i = 0; i < trips.size(); ++i) {
+      double saved = 0;
+      for (RequestId id : trips[i].group.members) saved += direct[id];
+      net[i] = trips[i].group.delta_cost - config_.penalty_coefficient * saved;
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return OrderCandidates(trips[a], trips[b], net[a], net[b]);
+    });
+
+    std::unordered_set<size_t> used_vehicles;
+    std::unordered_set<RequestId> taken;
+    for (size_t i : order) {
+      const TripCandidate& t = trips[i];
+      if (net[i] >= 0) break;  // remaining trips cannot help
+      if (used_vehicles.count(t.vehicle)) continue;
+      bool conflict = false;
+      for (RequestId id : t.group.members) {
+        if (taken.count(id)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      if (!fleet[t.vehicle].CommitSchedule(t.group.schedule, ctx->now,
+                                           ctx->engine)) {
+        continue;
+      }
+      used_vehicles.insert(t.vehicle);
+      for (RequestId id : t.group.members) {
+        taken.insert(id);
+        ctx->assigned.push_back(id);
+      }
+    }
+
+    // Improvement pass (the anytime stand-in for the ILP): leftover requests
+    // get a plain best-insertion over the whole fleet, including vehicles
+    // already extended this round.
+    for (const Request& r : pool) {
+      if (taken.count(r.id)) continue;
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_vehicle = 0;
+      Schedule best_schedule;
+      for (size_t vi = 0; vi < fleet.size(); ++vi) {
+        InsertionCandidate cand =
+            BestInsertion(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
+                          r, ctx->engine);
+        if (cand.feasible && cand.delta_cost < best) {
+          best = cand.delta_cost;
+          best_vehicle = vi;
+          best_schedule = ApplyInsertion(fleet[vi].schedule(), r, cand);
+        }
+      }
+      if (best < config_.penalty_coefficient * r.direct_cost &&
+          fleet[best_vehicle].CommitSchedule(best_schedule, ctx->now,
+                                             ctx->engine)) {
+        taken.insert(r.id);
+        ctx->assigned.push_back(r.id);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> MakeGas(const DispatchConfig& config) {
+  return std::make_unique<GasDispatcher>(config);
+}
+std::unique_ptr<Dispatcher> MakeRtv(const DispatchConfig& config) {
+  return std::make_unique<RtvDispatcher>(config);
+}
+
+}  // namespace structride

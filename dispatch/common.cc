@@ -1,0 +1,44 @@
+#include "dispatch/common.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace structride {
+namespace dispatch {
+
+std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
+                                       const RoadNetwork& net, NodeId from) {
+  std::vector<size_t> order(fleet.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> dist(fleet.size());
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    dist[i] = net.EuclidLowerBound(fleet[i].node(), from);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return a < b;
+  });
+  return order;
+}
+
+GroupInsertion InsertGroupSequential(const RouteState& state,
+                                     const Schedule& committed,
+                                     const std::vector<const Request*>& members,
+                                     TravelCostEngine* engine) {
+  GroupInsertion out;
+  Schedule schedule = committed;
+  double delta = 0;
+  for (const Request* r : members) {
+    InsertionCandidate cand = BestInsertion(state, schedule, *r, engine);
+    if (!cand.feasible) return out;
+    schedule = ApplyInsertion(schedule, *r, cand);
+    delta += cand.delta_cost;
+  }
+  out.feasible = true;
+  out.delta_cost = delta;
+  out.schedule = std::move(schedule);
+  return out;
+}
+
+}  // namespace dispatch
+}  // namespace structride

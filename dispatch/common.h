@@ -1,0 +1,32 @@
+// Helpers shared by the dispatcher implementations.
+
+#pragma once
+
+#include <vector>
+
+#include "core/insertion.h"
+#include "core/vehicle.h"
+
+namespace structride {
+namespace dispatch {
+
+/// Fleet indices sorted by straight-line distance from \p from (ties by
+/// vehicle index, so orderings are deterministic).
+std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
+                                       const RoadNetwork& net, NodeId from);
+
+struct GroupInsertion {
+  bool feasible = false;
+  double delta_cost = 0;
+  Schedule schedule;
+};
+
+/// Linear insertion of \p members, in the given order, into \p committed
+/// evaluated from \p state; infeasible if any member fails.
+GroupInsertion InsertGroupSequential(const RouteState& state,
+                                     const Schedule& committed,
+                                     const std::vector<const Request*>& members,
+                                     TravelCostEngine* engine);
+
+}  // namespace dispatch
+}  // namespace structride

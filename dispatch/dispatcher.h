@@ -1,0 +1,77 @@
+// Dispatcher interface and registry. A dispatcher sees one batch at a time:
+// the open (pending) requests and the fleet, and assigns by committing
+// schedules onto vehicles. Batch methods may leave requests pending across
+// rounds; online methods must assign-or-reject each request immediately.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/insertion.h"
+#include "core/vehicle.h"
+#include "group/grouping.h"
+#include "sharegraph/builder.h"
+
+namespace structride {
+
+struct DispatchConfig {
+  double penalty_coefficient = 10;
+  int vehicle_capacity = 4;
+  GroupingOptions grouping;
+  ShareGraphBuilderOptions sharegraph;
+  /// Global cap on enumerated trip nodes per batch (RTV's ILP size guard).
+  int64_t ilp_node_cap = 200000;
+  int num_threads = 1;
+  /// SARD: evaluate the acceptance stage on worker threads (per-vehicle
+  /// decisions are independent, so results are thread-count invariant).
+  bool sard_parallel_acceptance = false;
+  /// SARD: the literal Alg.-3 reading (propose to the vehicle needing the
+  /// most additional travel first) instead of the best-first default.
+  bool sard_propose_worst_first = false;
+};
+
+struct DispatchContext {
+  double now = 0;
+  TravelCostEngine* engine = nullptr;
+  std::vector<Vehicle>* fleet = nullptr;
+  /// Open requests in release order.
+  std::vector<const Request*> pending;
+  /// Outputs: requests assigned this round; requests the dispatcher gives up
+  /// on permanently (online methods reject instead of queueing).
+  std::vector<RequestId> assigned;
+  std::vector<RequestId> rejected;
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(const DispatchConfig& config) : config_(config) {}
+  virtual ~Dispatcher() = default;
+
+  virtual void OnBatch(DispatchContext* ctx) = 0;
+
+  /// Peak instrumented bytes of the dispatcher's dominant structures
+  /// (DESIGN.md §4: the substitution for process-RSS measurement).
+  size_t MemoryBytes() const { return peak_memory_; }
+
+ protected:
+  void NotePeak(size_t bytes) {
+    if (bytes > peak_memory_) peak_memory_ = bytes;
+  }
+
+  DispatchConfig config_;
+
+ private:
+  size_t peak_memory_ = 0;
+};
+
+/// The paper's dispatcher roster, in comparison order.
+std::vector<std::string> AllDispatcherNames();
+
+/// Factory; SR_CHECK-fails on unknown names.
+std::unique_ptr<Dispatcher> MakeDispatcher(const std::string& name,
+                                           const DispatchConfig& config);
+
+}  // namespace structride

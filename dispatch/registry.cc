@@ -1,0 +1,34 @@
+#include "dispatch/dispatcher.h"
+
+#include "util/logging.h"
+
+namespace structride {
+
+// Factories defined in the per-method translation units.
+std::unique_ptr<Dispatcher> MakePruneGdp(const DispatchConfig&);
+std::unique_ptr<Dispatcher> MakeTicketAssign(const DispatchConfig&);
+std::unique_ptr<Dispatcher> MakeDarmDprs(const DispatchConfig&);
+std::unique_ptr<Dispatcher> MakeGas(const DispatchConfig&);
+std::unique_ptr<Dispatcher> MakeRtv(const DispatchConfig&);
+std::unique_ptr<Dispatcher> MakeSard(const DispatchConfig&);
+
+std::vector<std::string> AllDispatcherNames() {
+  // The paper's six comparison methods, in its table order. SARD-O is SARD
+  // with DispatchConfig::sharegraph.use_angle_pruning set.
+  return {"RTV", "pruneGDP", "GAS", "TicketAssign+", "DARM+DPRS", "SARD"};
+}
+
+std::unique_ptr<Dispatcher> MakeDispatcher(const std::string& name,
+                                           const DispatchConfig& config) {
+  if (name == "RTV") return MakeRtv(config);
+  if (name == "pruneGDP") return MakePruneGdp(config);
+  if (name == "GAS") return MakeGas(config);
+  if (name == "TicketAssign+") return MakeTicketAssign(config);
+  if (name == "DARM+DPRS") return MakeDarmDprs(config);
+  if (name == "SARD" || name == "SARD-O") return MakeSard(config);
+  SR_LOG("unknown dispatcher '%s'", name.c_str());
+  SR_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace structride

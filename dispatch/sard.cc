@@ -1,0 +1,166 @@
+// SARD: the paper's structure-aware ridesharing dispatcher. Per batch:
+// fold the new requests into a persistent shareability graph (Alg. 1, with
+// the optional angle pruning = SARD-O), partition the open requests into
+// capacity-bounded cliques (the grouping stage), then run the
+// proposal/acceptance stage (Alg. 3): each group is proposed to nearby
+// vehicles, each vehicle prices the group by linear insertion in ascending
+// shareability order (Sec. IV-A) and the first accepting vehicle commits.
+//
+// The acceptance evaluation is a pure read of the batch-start fleet state,
+// which is what makes the parallel variant exact: worker threads only price
+// proposals; commits happen serially in deterministic group order with
+// re-validation, so thread count never changes the result.
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dispatch/common.h"
+#include "dispatch/dispatcher.h"
+#include "sharegraph/analysis.h"
+
+namespace structride {
+namespace {
+
+class SardDispatcher : public Dispatcher {
+ public:
+  using Dispatcher::Dispatcher;
+
+  void OnBatch(DispatchContext* ctx) override {
+    constexpr size_t kCandidateVehicles = 16;
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    if (ctx->pending.empty()) return;
+
+    if (!builder_) {
+      builder_ = std::make_unique<ShareGraphBuilder>(ctx->engine,
+                                                     config_.sharegraph);
+    }
+    // Closed requests (assigned, expired, cancelled) leave the persistent
+    // graph before the new batch folds in, so the graph tracks the open set.
+    std::vector<RequestId> open_ids;
+    for (const Request* r : ctx->pending) open_ids.push_back(r->id);
+    builder_->Retain(open_ids);
+    std::vector<Request> fresh;
+    for (const Request* r : ctx->pending) {
+      if (!builder_->has_request(r->id)) fresh.push_back(*r);
+    }
+    builder_->AddBatch(fresh);
+
+    // Induced subgraph over the open requests (assigned/expired nodes fall
+    // out naturally because only pending ids are copied in).
+    ShareGraph open;
+    std::unordered_map<RequestId, const Request*> by_id;
+    for (const Request* r : ctx->pending) {
+      open.AddNode(r->id);
+      by_id[r->id] = r;
+    }
+    for (const Request* r : ctx->pending) {
+      for (RequestId nb : builder_->graph().Neighbors(r->id)) {
+        if (nb > r->id && by_id.count(nb)) open.AddEdge(r->id, nb);
+      }
+    }
+
+    int bound = std::min(config_.vehicle_capacity,
+                         config_.grouping.max_group_size);
+    std::vector<std::vector<RequestId>> groups =
+        GreedyCliquePartition(open, static_cast<size_t>(bound > 0 ? bound : 1));
+
+    // Members inside a group join schedules in ascending shareability order.
+    std::vector<std::vector<const Request*>> group_members(groups.size());
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      std::vector<RequestId> ids = groups[gi];
+      std::stable_sort(ids.begin(), ids.end(), [&](RequestId a, RequestId b) {
+        size_t da = open.Degree(a), db = open.Degree(b);
+        if (da != db) return da < db;
+        return a < b;
+      });
+      for (RequestId id : ids) group_members[gi].push_back(by_id[id]);
+    }
+
+    // Proposal pricing (phase A; pure, parallelizable): for each group, the
+    // feasible nearby vehicles ordered by the configured proposal policy.
+    struct Proposal {
+      double delta = 0;
+      size_t vehicle = 0;
+    };
+    std::vector<std::vector<Proposal>> proposals(groups.size());
+    auto price_group = [&](size_t gi) {
+      const std::vector<const Request*>& members = group_members[gi];
+      NodeId anchor = members.front()->source;
+      size_t scanned = 0;
+      for (size_t vi : dispatch::VehiclesByDistance(fleet, ctx->engine->network(),
+                                                    anchor)) {
+        if (++scanned > kCandidateVehicles) break;
+        dispatch::GroupInsertion ins = dispatch::InsertGroupSequential(
+            fleet[vi].route_state(ctx->now), fleet[vi].schedule(), members,
+            ctx->engine);
+        if (ins.feasible) proposals[gi].push_back({ins.delta_cost, vi});
+      }
+      std::stable_sort(proposals[gi].begin(), proposals[gi].end(),
+                       [&](const Proposal& a, const Proposal& b) {
+                         if (a.delta != b.delta) {
+                           return config_.sard_propose_worst_first
+                                      ? a.delta > b.delta
+                                      : a.delta < b.delta;
+                         }
+                         return a.vehicle < b.vehicle;
+                       });
+    };
+
+    int threads = config_.sard_parallel_acceptance
+                      ? std::max(1, config_.num_threads)
+                      : 1;
+    if (threads > 1 && groups.size() > 1) {
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<size_t>(threads));
+      for (int w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+          for (size_t gi = static_cast<size_t>(w); gi < groups.size();
+               gi += static_cast<size_t>(threads)) {
+            price_group(gi);
+          }
+        });
+      }
+      for (std::thread& t : workers) t.join();
+    } else {
+      for (size_t gi = 0; gi < groups.size(); ++gi) price_group(gi);
+    }
+
+    // Acceptance commits (phase B; serial, deterministic group order). A
+    // vehicle's schedule may have grown since pricing, so each proposal is
+    // re-validated before committing.
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      for (const Proposal& p : proposals[gi]) {
+        Vehicle& v = fleet[p.vehicle];
+        dispatch::GroupInsertion ins = dispatch::InsertGroupSequential(
+            v.route_state(ctx->now), v.schedule(), group_members[gi],
+            ctx->engine);
+        if (!ins.feasible) continue;
+        if (!v.CommitSchedule(ins.schedule, ctx->now, ctx->engine)) continue;
+        for (const Request* r : group_members[gi]) {
+          ctx->assigned.push_back(r->id);
+        }
+        break;
+      }
+    }
+
+    size_t proposal_bytes = 0;
+    for (const auto& plist : proposals) {
+      proposal_bytes += plist.size() * sizeof(Proposal);
+    }
+    NotePeak(builder_->MemoryBytes() + open.MemoryBytes() + proposal_bytes +
+             groups.size() * sizeof(std::vector<RequestId>));
+  }
+
+ private:
+  std::unique_ptr<ShareGraphBuilder> builder_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dispatcher> MakeSard(const DispatchConfig& config) {
+  return std::make_unique<SardDispatcher>(config);
+}
+
+}  // namespace structride

@@ -1,0 +1,42 @@
+// Planar points and the direction-angle helper behind the Sec. III-B angle
+// pruning: theta = angle between the two trip direction vectors seen from a
+// shared origin.
+
+#pragma once
+
+#include <cmath>
+
+namespace structride {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+inline Point operator-(const Point& a, const Point& b) {
+  return {a.x - b.x, a.y - b.y};
+}
+inline Point operator+(const Point& a, const Point& b) {
+  return {a.x + b.x, a.y + b.y};
+}
+
+inline double Dot(const Point& a, const Point& b) { return a.x * b.x + a.y * b.y; }
+inline double Norm(const Point& a) { return std::sqrt(Dot(a, a)); }
+inline double EuclidDistance(const Point& a, const Point& b) {
+  return Norm(a - b);
+}
+
+/// Angle in [0, pi] between vectors \p a and \p b; 0 for degenerate vectors
+/// (a zero-length trip cannot be pruned by direction).
+inline double AngleBetween(const Point& a, const Point& b) {
+  double na = Norm(a), nb = Norm(b);
+  if (na <= 1e-12 || nb <= 1e-12) return 0;
+  double c = Dot(a, b) / (na * nb);
+  if (c > 1) c = 1;
+  if (c < -1) c = -1;
+  return std::acos(c);
+}
+
+}  // namespace structride

@@ -1,0 +1,156 @@
+#include "group/grouping.h"
+
+#include <map>
+
+namespace structride {
+
+namespace {
+
+struct Node {
+  std::vector<size_t> member_idx;  // indices into the ordered pool
+  CandidateGroup group;
+};
+
+bool AdjacentToAll(const ShareGraph* graph, RequestId candidate,
+                   const std::vector<RequestId>& members) {
+  for (RequestId m : members) {
+    if (!graph->HasEdge(candidate, m)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GroupingResult EnumerateGroups(const RouteState& state,
+                               const Schedule& committed,
+                               const std::vector<Request>& pool,
+                               const ShareGraph* graph,
+                               TravelCostEngine* engine,
+                               const GroupingOptions& options) {
+  GroupingResult result;
+  if (options.max_group_size <= 0) return result;
+
+  std::vector<const Request*> ordered;
+  ordered.reserve(pool.size());
+  for (const Request& r : pool) ordered.push_back(&r);
+  if (options.insertion_order == InsertionOrderPolicy::kByShareability &&
+      graph != nullptr) {
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [graph](const Request* a, const Request* b) {
+                       size_t da = graph->Degree(a->id);
+                       size_t db = graph->Degree(b->id);
+                       if (da != db) return da < db;
+                       return a->id < b->id;
+                     });
+  }
+
+  auto capped = [&] { return result.groups.size() >= options.max_groups; };
+
+  std::vector<Node> level;
+  for (size_t idx = 0; idx < ordered.size(); ++idx) {
+    if (capped()) {
+      result.truncated = true;
+      return result;
+    }
+    InsertionCandidate cand =
+        BestInsertion(state, committed, *ordered[idx], engine);
+    if (!cand.feasible) continue;
+    Node node;
+    node.member_idx = {idx};
+    node.group.members = {ordered[idx]->id};
+    node.group.schedule = ApplyInsertion(committed, *ordered[idx], cand);
+    node.group.delta_cost = cand.delta_cost;
+    result.groups.push_back(node.group);
+    level.push_back(std::move(node));
+  }
+
+  int size = 1;
+  while (!level.empty() && size < options.max_group_size && graph != nullptr) {
+    std::vector<Node> next;
+    if (options.insertion_order == InsertionOrderPolicy::kByShareability) {
+      // Additive tree: each set is generated once, along the index-increasing
+      // path, i.e. members join in ascending shareability order.
+      for (const Node& node : level) {
+        for (size_t idx = node.member_idx.back() + 1; idx < ordered.size();
+             ++idx) {
+          const Request& r = *ordered[idx];
+          if (!AdjacentToAll(graph, r.id, node.group.members)) continue;
+          InsertionCandidate cand =
+              BestInsertion(state, node.group.schedule, r, engine);
+          if (!cand.feasible) continue;
+          Node child;
+          child.member_idx = node.member_idx;
+          child.member_idx.push_back(idx);
+          child.group.members = node.group.members;
+          child.group.members.push_back(r.id);
+          child.group.schedule = ApplyInsertion(node.group.schedule, r, cand);
+          child.group.delta_cost = node.group.delta_cost + cand.delta_cost;
+          next.push_back(std::move(child));
+          if (result.groups.size() + next.size() >= options.max_groups) {
+            result.truncated = true;
+            break;
+          }
+        }
+        if (result.truncated) break;
+      }
+    } else {
+      // Best-of-all-parents: a set of size k+1 is reachable from each of its
+      // k+1 parents; keep the cheapest schedule found.
+      std::map<std::vector<RequestId>, Node> dedup;
+      for (const Node& node : level) {
+        for (size_t idx = 0; idx < ordered.size(); ++idx) {
+          const Request& r = *ordered[idx];
+          if (std::find(node.member_idx.begin(), node.member_idx.end(), idx) !=
+              node.member_idx.end()) {
+            continue;
+          }
+          if (!AdjacentToAll(graph, r.id, node.group.members)) continue;
+          std::vector<RequestId> key = node.group.members;
+          key.push_back(r.id);
+          std::sort(key.begin(), key.end());
+          InsertionCandidate cand =
+              BestInsertion(state, node.group.schedule, r, engine);
+          if (!cand.feasible) continue;
+          double delta = node.group.delta_cost + cand.delta_cost;
+          auto it = dedup.find(key);
+          if (it != dedup.end() && it->second.group.delta_cost <= delta) {
+            continue;
+          }
+          Node child;
+          child.member_idx = node.member_idx;
+          child.member_idx.push_back(idx);
+          std::sort(child.member_idx.begin(), child.member_idx.end());
+          child.group.members = key;
+          child.group.schedule = ApplyInsertion(node.group.schedule, r, cand);
+          child.group.delta_cost = delta;
+          dedup[key] = std::move(child);
+          if (result.groups.size() + dedup.size() >= options.max_groups) {
+            result.truncated = true;
+            break;
+          }
+        }
+        if (result.truncated) break;
+      }
+      for (auto& [key, node] : dedup) {
+        (void)key;
+        next.push_back(std::move(node));
+      }
+    }
+    for (const Node& node : next) result.groups.push_back(node.group);
+    level = std::move(next);
+    ++size;
+    if (result.truncated) break;
+  }
+  return result;
+}
+
+size_t GroupingMemoryBytes(const GroupingResult& result) {
+  size_t bytes = result.groups.size() * sizeof(CandidateGroup);
+  for (const CandidateGroup& g : result.groups) {
+    bytes += g.members.size() * sizeof(RequestId);
+    bytes += g.schedule.size() * sizeof(Stop);
+  }
+  return bytes;
+}
+
+}  // namespace structride

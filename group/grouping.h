@@ -1,0 +1,61 @@
+// The Algorithm-2 grouping enumerator: all request groups (cliques in the
+// shareability graph) a given vehicle could feasibly absorb, each with a
+// concrete schedule and delta cost. Two insertion-order policies trade
+// enumeration cost for schedule quality:
+//
+//  - kByShareability: the paper's additive tree — one schedule per group,
+//    members inserted in ascending shareability (degree) order, which is
+//    exactly the ordering Sec. IV-A shows reaches the optimum most often.
+//  - kBestOfAllParents: the GAS-quality variant — every parent group's
+//    schedule is tried for the new member and the cheapest kept; more work,
+//    occasionally better schedules.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/insertion.h"
+#include "sharegraph/share_graph.h"
+
+namespace structride {
+
+enum class InsertionOrderPolicy {
+  kByShareability,
+  kBestOfAllParents,
+};
+
+struct GroupingOptions {
+  int max_group_size = 4;
+  InsertionOrderPolicy insertion_order = InsertionOrderPolicy::kByShareability;
+  /// Safety cap on enumerated groups (RTV wires its ILP node cap in here).
+  size_t max_groups = 200000;
+};
+
+struct CandidateGroup {
+  std::vector<RequestId> members;
+  Schedule schedule;       ///< committed stops + all members spliced in
+  double delta_cost = 0;   ///< extra travel vs. the committed schedule
+};
+
+struct GroupingResult {
+  std::vector<CandidateGroup> groups;
+  bool truncated = false;  ///< hit max_groups before finishing a level
+};
+
+/// Enumerates feasible groups from \p pool for a vehicle at \p state with
+/// \p committed stops. Groups must be cliques in \p graph (a null graph
+/// admits only singleton groups).
+GroupingResult EnumerateGroups(const RouteState& state,
+                               const Schedule& committed,
+                               const std::vector<Request>& pool,
+                               const ShareGraph* graph,
+                               TravelCostEngine* engine,
+                               const GroupingOptions& options);
+
+/// Estimated heap footprint of a grouping result (for Fig.-14-style
+/// instrumented memory accounting).
+size_t GroupingMemoryBytes(const GroupingResult& result);
+
+}  // namespace structride

@@ -1,0 +1,35 @@
+#include "roadnet/astar.h"
+
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace structride {
+
+double AStarCost(const RoadNetwork& net, NodeId source, NodeId target) {
+  if (source == target) return 0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(net.num_nodes(), kInf);
+  using Entry = std::pair<double, NodeId>;  // (g + h, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  g[static_cast<size_t>(source)] = 0;
+  open.push({net.EuclidLowerBound(source, target), source});
+  while (!open.empty()) {
+    auto [f, u] = open.top();
+    open.pop();
+    if (u == target) return g[static_cast<size_t>(u)];
+    double gu = g[static_cast<size_t>(u)];
+    if (f > gu + net.EuclidLowerBound(u, target) + 1e-9) continue;  // stale
+    for (const RoadNetwork::Arc& arc : net.arcs(u)) {
+      double ng = gu + arc.cost;
+      if (ng < g[static_cast<size_t>(arc.to)]) {
+        g[static_cast<size_t>(arc.to)] = ng;
+        open.push({ng + net.EuclidLowerBound(arc.to, target), arc.to});
+      }
+    }
+  }
+  return kInf;
+}
+
+}  // namespace structride

@@ -1,0 +1,13 @@
+// A* point-to-point search using the Euclidean lower bound as heuristic.
+// Admissible (and consistent) because every generator emits edge costs
+// >= the Euclidean length of the edge.
+
+#pragma once
+
+#include "roadnet/road_network.h"
+
+namespace structride {
+
+double AStarCost(const RoadNetwork& net, NodeId source, NodeId target);
+
+}  // namespace structride

@@ -1,0 +1,221 @@
+#include "roadnet/contraction_hierarchies.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+namespace structride {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+using HeapEntry = std::pair<double, NodeId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+// Working graph during contraction: adjacency with parallel-edge collapsing.
+struct WorkGraph {
+  std::vector<std::unordered_map<NodeId, double>> adj;
+
+  explicit WorkGraph(const RoadNetwork& net) : adj(net.num_nodes()) {
+    for (size_t u = 0; u < net.num_nodes(); ++u) {
+      for (const RoadNetwork::Arc& arc : net.arcs(static_cast<NodeId>(u))) {
+        auto it = adj[u].find(arc.to);
+        if (it == adj[u].end() || arc.cost < it->second) {
+          adj[u][arc.to] = arc.cost;
+        }
+      }
+    }
+  }
+
+  void AddOrRelax(NodeId u, NodeId v, double cost) {
+    auto it = adj[static_cast<size_t>(u)].find(v);
+    if (it == adj[static_cast<size_t>(u)].end() || cost < it->second) {
+      adj[static_cast<size_t>(u)][v] = cost;
+    }
+  }
+
+  void RemoveNode(NodeId v) {
+    for (const auto& [to, cost] : adj[static_cast<size_t>(v)]) {
+      (void)cost;
+      adj[static_cast<size_t>(to)].erase(v);
+    }
+    adj[static_cast<size_t>(v)].clear();
+  }
+};
+
+// Local Dijkstra from `source`, ignoring `excluded`, stopping once all
+// targets are settled or the cost limit / settle cap is exceeded. Returns
+// settled distances for nodes in `targets`.
+void WitnessSearch(const WorkGraph& g, NodeId source, NodeId excluded,
+                   double limit, std::unordered_map<NodeId, double>* out) {
+  std::unordered_map<NodeId, double> dist;
+  MinHeap heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  int settled = 0;
+  while (!heap.empty() && settled < 80) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) continue;
+    ++settled;
+    if (d > limit) break;
+    for (const auto& [to, cost] : g.adj[static_cast<size_t>(u)]) {
+      if (to == excluded) continue;
+      double nd = d + cost;
+      auto jt = dist.find(to);
+      if (jt == dist.end() || nd < jt->second) {
+        dist[to] = nd;
+        heap.push({nd, to});
+      }
+    }
+  }
+  *out = std::move(dist);
+}
+
+}  // namespace
+
+ContractionHierarchies::ContractionHierarchies(const RoadNetwork& net) {
+  size_t n = net.num_nodes();
+  rank_.assign(n, 0);
+  WorkGraph work(net);
+
+  // All arcs (original + shortcuts) by endpoint; filtered into up_ at the end.
+  std::vector<std::vector<Arc>> all(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [to, cost] : work.adj[u]) {
+      all[u].push_back({to, cost});
+    }
+  }
+
+  auto edge_difference = [&](NodeId v) {
+    // Shortcuts needed if v were contracted now, minus removed edges.
+    const auto& nbrs = work.adj[static_cast<size_t>(v)];
+    int shortcuts = 0;
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+      for (auto jt = std::next(it); jt != nbrs.end(); ++jt) {
+        double via = it->second + jt->second;
+        std::unordered_map<NodeId, double> dist;
+        WitnessSearch(work, it->first, v, via, &dist);
+        auto found = dist.find(jt->first);
+        if (found == dist.end() || found->second > via + 1e-9) ++shortcuts;
+      }
+    }
+    return shortcuts - static_cast<int>(nbrs.size());
+  };
+
+  // Lazy-update contraction order.
+  using PqEntry = std::pair<double, NodeId>;  // (priority, node)
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  std::vector<int> contracted_neighbors(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    pq.push({static_cast<double>(edge_difference(static_cast<NodeId>(v))),
+             static_cast<NodeId>(v)});
+  }
+  std::vector<bool> done(n, false);
+  int32_t next_rank = 0;
+  while (!pq.empty()) {
+    auto [prio, v] = pq.top();
+    pq.pop();
+    if (done[static_cast<size_t>(v)]) continue;
+    double fresh = static_cast<double>(edge_difference(v)) +
+                   0.5 * contracted_neighbors[static_cast<size_t>(v)];
+    if (!pq.empty() && fresh > pq.top().first + 1e-9) {
+      pq.push({fresh, v});
+      continue;
+    }
+    // Contract v: add witnesses-failing shortcuts between its neighbors.
+    done[static_cast<size_t>(v)] = true;
+    rank_[static_cast<size_t>(v)] = next_rank++;
+    auto nbrs = work.adj[static_cast<size_t>(v)];  // copy; we mutate below
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+      for (auto jt = std::next(it); jt != nbrs.end(); ++jt) {
+        double via = it->second + jt->second;
+        std::unordered_map<NodeId, double> dist;
+        WitnessSearch(work, it->first, v, via, &dist);
+        auto found = dist.find(jt->first);
+        if (found == dist.end() || found->second > via + 1e-9) {
+          work.AddOrRelax(it->first, jt->first, via);
+          work.AddOrRelax(jt->first, it->first, via);
+          all[static_cast<size_t>(it->first)].push_back({jt->first, via});
+          all[static_cast<size_t>(jt->first)].push_back({it->first, via});
+          ++num_shortcuts_;
+        }
+      }
+    }
+    for (const auto& [to, cost] : nbrs) {
+      (void)cost;
+      ++contracted_neighbors[static_cast<size_t>(to)];
+    }
+    work.RemoveNode(v);
+  }
+
+  up_.assign(n, {});
+  for (size_t u = 0; u < n; ++u) {
+    for (const Arc& arc : all[u]) {
+      if (rank_[static_cast<size_t>(arc.to)] > rank_[u]) {
+        up_[u].push_back(arc);
+      }
+    }
+    // Deterministic order + dedupe parallel arcs keeping the cheapest.
+    std::sort(up_[u].begin(), up_[u].end(), [](const Arc& a, const Arc& b) {
+      return a.to != b.to ? a.to < b.to : a.cost < b.cost;
+    });
+    up_[u].erase(std::unique(up_[u].begin(), up_[u].end(),
+                             [](const Arc& a, const Arc& b) {
+                               return a.to == b.to;
+                             }),
+                 up_[u].end());
+  }
+}
+
+double ContractionHierarchies::Query(NodeId s, NodeId t) const {
+  if (s == t) return 0;
+  std::unordered_map<NodeId, double> df, db;
+  MinHeap hf, hb;
+  df[s] = 0;
+  db[t] = 0;
+  hf.push({0, s});
+  hb.push({0, t});
+  double best = kInf;
+  auto step = [&](MinHeap& heap, std::unordered_map<NodeId, double>& dist,
+                  const std::unordered_map<NodeId, double>& other) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) return;
+    auto ot = other.find(u);
+    if (ot != other.end() && d + ot->second < best) best = d + ot->second;
+    if (d >= best) return;
+    for (const Arc& arc : up_[static_cast<size_t>(u)]) {
+      double nd = d + arc.cost;
+      auto jt = dist.find(arc.to);
+      if (jt == dist.end() || nd < jt->second) {
+        dist[arc.to] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  };
+  while (!hf.empty() || !hb.empty()) {
+    double ft = hf.empty() ? kInf : hf.top().first;
+    double bt = hb.empty() ? kInf : hb.top().first;
+    if (std::min(ft, bt) >= best) break;
+    if (ft <= bt) {
+      step(hf, df, db);
+    } else {
+      step(hb, db, df);
+    }
+  }
+  return best;
+}
+
+size_t ContractionHierarchies::MemoryBytes() const {
+  size_t bytes = rank_.size() * sizeof(int32_t);
+  bytes += up_.size() * sizeof(std::vector<Arc>);
+  for (const auto& arcs : up_) bytes += arcs.size() * sizeof(Arc);
+  return bytes;
+}
+
+}  // namespace structride

@@ -1,0 +1,38 @@
+// Contraction hierarchies: the middle ground between index-free searches
+// and hub labels. Nodes are contracted in an edge-difference order with
+// witness searches; queries run a bidirectional upward Dijkstra over the
+// augmented (original + shortcut) graph.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace structride {
+
+class ContractionHierarchies {
+ public:
+  explicit ContractionHierarchies(const RoadNetwork& net);
+
+  /// Exact shortest-path cost (infinity if disconnected).
+  double Query(NodeId s, NodeId t) const;
+
+  size_t num_shortcuts() const { return num_shortcuts_; }
+  size_t MemoryBytes() const;
+
+ private:
+  struct Arc {
+    NodeId to;
+    double cost;
+  };
+
+  // Upward arcs only: from each node to strictly higher-ranked neighbors.
+  std::vector<std::vector<Arc>> up_;
+  std::vector<int32_t> rank_;
+  size_t num_shortcuts_ = 0;
+};
+
+}  // namespace structride

@@ -1,0 +1,78 @@
+#include "roadnet/dijkstra.h"
+
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace structride {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+using HeapEntry = std::pair<double, NodeId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+}  // namespace
+
+std::vector<double> DijkstraAll(const RoadNetwork& net, NodeId source) {
+  std::vector<double> dist(net.num_nodes(), kInf);
+  MinHeap heap;
+  dist[static_cast<size_t>(source)] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    for (const RoadNetwork::Arc& arc : net.arcs(u)) {
+      double nd = d + arc.cost;
+      if (nd < dist[static_cast<size_t>(arc.to)]) {
+        dist[static_cast<size_t>(arc.to)] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  return dist;
+}
+
+double BidirectionalDijkstra(const RoadNetwork& net, NodeId source,
+                             NodeId target) {
+  if (source == target) return 0;
+  size_t n = net.num_nodes();
+  std::vector<double> df(n, kInf), db(n, kInf);
+  MinHeap hf, hb;
+  df[static_cast<size_t>(source)] = 0;
+  db[static_cast<size_t>(target)] = 0;
+  hf.push({0, source});
+  hb.push({0, target});
+  double best = kInf;
+
+  auto relax = [&](MinHeap& heap, std::vector<double>& dist,
+                   const std::vector<double>& other) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(u)]) return;
+    if (other[static_cast<size_t>(u)] + d < best) {
+      best = other[static_cast<size_t>(u)] + d;
+    }
+    for (const RoadNetwork::Arc& arc : net.arcs(u)) {
+      double nd = d + arc.cost;
+      size_t to = static_cast<size_t>(arc.to);
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        heap.push({nd, arc.to});
+        if (other[to] < kInf && nd + other[to] < best) best = nd + other[to];
+      }
+    }
+  };
+
+  while (!hf.empty() && !hb.empty()) {
+    if (hf.top().first + hb.top().first >= best) break;
+    if (hf.top().first <= hb.top().first) {
+      relax(hf, df, db);
+    } else {
+      relax(hb, db, df);
+    }
+  }
+  return best;
+}
+
+}  // namespace structride

@@ -1,0 +1,49 @@
+#include "roadnet/generator.h"
+
+#include "util/random.h"
+
+namespace structride {
+
+RoadNetwork GenerateGridCity(const CityOptions& options) {
+  SR_CHECK(options.rows >= 2 && options.cols >= 2);
+  SR_CHECK(options.min_factor >= 1.0);
+  Rng rng(options.seed);
+  RoadNetwork net;
+
+  auto index = [&](int r, int c) {
+    return static_cast<NodeId>(r * options.cols + c);
+  };
+
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      double jx = rng.Uniform(-options.jitter, options.jitter) * options.block;
+      double jy = rng.Uniform(-options.jitter, options.jitter) * options.block;
+      net.AddNode({c * options.block + jx, r * options.block + jy});
+    }
+  }
+
+  auto add_street = [&](NodeId u, NodeId v) {
+    double factor = rng.Uniform(options.min_factor, options.max_factor);
+    net.AddEdge(u, v, net.EuclidLowerBound(u, v) * factor);
+  };
+
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      if (c + 1 < options.cols) add_street(index(r, c), index(r, c + 1));
+      if (r + 1 < options.rows) add_street(index(r, c), index(r + 1, c));
+      if (r + 1 < options.rows && c + 1 < options.cols &&
+          rng.Uniform(0, 1) < options.diagonal_prob) {
+        // One diagonal per lucky cell, direction chosen by the same draw
+        // stream so layouts stay reproducible.
+        if (rng.Uniform(0, 1) < 0.5) {
+          add_street(index(r, c), index(r + 1, c + 1));
+        } else {
+          add_street(index(r, c + 1), index(r + 1, c));
+        }
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace structride

@@ -1,0 +1,34 @@
+// Synthetic city generator. The dataset presets (sim/datasets.h) stand in
+// for the paper's proprietary road networks with seeded grid cities:
+// perturbed node positions, per-edge congestion factors, and a sprinkle of
+// diagonal shortcut streets so shortest paths are not axis-trivial.
+
+#pragma once
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+
+namespace structride {
+
+struct CityOptions {
+  int rows = 20;
+  int cols = 20;
+  uint64_t seed = 1;
+  /// Distance between adjacent grid intersections (cost units).
+  double block = 10.0;
+  /// Positional jitter applied to each intersection, as a fraction of block.
+  double jitter = 0.2;
+  /// Per-edge congestion factor range; travel cost = euclid * factor with
+  /// factor in [min_factor, max_factor]. min_factor must stay >= 1 so the
+  /// Euclidean distance remains an admissible lower bound.
+  double min_factor = 1.05;
+  double max_factor = 1.45;
+  /// Probability that a grid cell gains one diagonal shortcut street.
+  double diagonal_prob = 0.15;
+};
+
+/// Deterministic (seeded) grid city; always connected.
+RoadNetwork GenerateGridCity(const CityOptions& options);
+
+}  // namespace structride

@@ -1,0 +1,121 @@
+#include "roadnet/hub_labeling.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+namespace structride {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+HubLabeling::HubLabeling(const RoadNetwork& net) {
+  size_t n = net.num_nodes();
+  labels_.assign(n, {});
+
+  // Build order: distance from the planar centroid, ascending. On grid-like
+  // cities the central nodes cover the most shortest paths, which keeps
+  // labels small; ties broken by id for determinism.
+  Point centroid{0, 0};
+  for (size_t v = 0; v < n; ++v) {
+    centroid = centroid + net.position(static_cast<NodeId>(v));
+  }
+  if (n > 0) {
+    centroid.x /= static_cast<double>(n);
+    centroid.y /= static_cast<double>(n);
+  }
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    double da = EuclidDistance(net.position(a), centroid);
+    double db = EuclidDistance(net.position(b), centroid);
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  // Query restricted to already-built labels (used for pruning).
+  auto pruned_query = [&](NodeId s, NodeId t) {
+    const auto& ls = labels_[static_cast<size_t>(s)];
+    const auto& lt = labels_[static_cast<size_t>(t)];
+    double best = kInf;
+    size_t i = 0, j = 0;
+    while (i < ls.size() && j < lt.size()) {
+      if (ls[i].hub_rank == lt[j].hub_rank) {
+        double d = ls[i].dist + lt[j].dist;
+        if (d < best) best = d;
+        ++i;
+        ++j;
+      } else if (ls[i].hub_rank < lt[j].hub_rank) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return best;
+  };
+
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> touched;
+  using Entry = std::pair<double, NodeId>;
+  for (int32_t rank = 0; rank < static_cast<int32_t>(n); ++rank) {
+    NodeId hub = order[static_cast<size_t>(rank)];
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[static_cast<size_t>(hub)] = 0;
+    touched.push_back(hub);
+    heap.push({0, hub});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[static_cast<size_t>(u)]) continue;
+      // Prune: if existing labels already certify a path <= d, the hub adds
+      // nothing for u or anything beyond it.
+      if (pruned_query(hub, u) <= d + 1e-9) continue;
+      labels_[static_cast<size_t>(u)].push_back({rank, d});
+      for (const RoadNetwork::Arc& arc : net.arcs(u)) {
+        double nd = d + arc.cost;
+        size_t to = static_cast<size_t>(arc.to);
+        if (nd < dist[to]) {
+          if (dist[to] == kInf) touched.push_back(arc.to);
+          dist[to] = nd;
+          heap.push({nd, arc.to});
+        }
+      }
+    }
+    for (NodeId v : touched) dist[static_cast<size_t>(v)] = kInf;
+    touched.clear();
+  }
+
+  for (const auto& label : labels_) total_entries_ += label.size();
+}
+
+double HubLabeling::Query(NodeId s, NodeId t) const {
+  if (s == t) return 0;
+  const auto& ls = labels_[static_cast<size_t>(s)];
+  const auto& lt = labels_[static_cast<size_t>(t)];
+  double best = kInf;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].hub_rank == lt[j].hub_rank) {
+      double d = ls[i].dist + lt[j].dist;
+      if (d < best) best = d;
+      ++i;
+      ++j;
+    } else if (ls[i].hub_rank < lt[j].hub_rank) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+size_t HubLabeling::MemoryBytes() const {
+  size_t bytes = labels_.size() * sizeof(std::vector<LabelEntry>);
+  bytes += total_entries_ * sizeof(LabelEntry);
+  return bytes;
+}
+
+}  // namespace structride

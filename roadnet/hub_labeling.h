@@ -1,0 +1,36 @@
+// Pruned-landmark hub labeling (2-hop cover): the paper's fixed
+// shortest-path substrate. Exact distances via a sorted-label merge join;
+// build via pruned Dijkstra in a centrality order that works well on city
+// grids (central intersections make the best hubs).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace structride {
+
+class HubLabeling {
+ public:
+  explicit HubLabeling(const RoadNetwork& net);
+
+  /// Exact shortest-path cost (infinity if disconnected).
+  double Query(NodeId s, NodeId t) const;
+
+  size_t TotalLabelEntries() const { return total_entries_; }
+  size_t MemoryBytes() const;
+
+ private:
+  struct LabelEntry {
+    int32_t hub_rank;  // position in the build order; labels sorted by it
+    double dist;
+  };
+
+  std::vector<std::vector<LabelEntry>> labels_;
+  size_t total_entries_ = 0;
+};
+
+}  // namespace structride

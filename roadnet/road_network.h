@@ -1,0 +1,71 @@
+// The road network substrate: an undirected weighted graph with planar node
+// positions. Edge weights are travel costs (abstract seconds) and are
+// guaranteed by every generator to be >= the Euclidean distance between the
+// endpoints, so straight-line distance is an admissible lower bound for all
+// search and pruning code (A*, insertion pruning, angle pruning).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geo/angle.h"
+#include "util/logging.h"
+
+namespace structride {
+
+using NodeId = int32_t;
+
+class RoadNetwork {
+ public:
+  struct Arc {
+    NodeId to = 0;
+    double cost = 0;
+  };
+
+  NodeId AddNode(Point position) {
+    positions_.push_back(position);
+    adjacency_.emplace_back();
+    return static_cast<NodeId>(positions_.size() - 1);
+  }
+
+  /// Adds an undirected edge (two arcs) with the given travel cost.
+  void AddEdge(NodeId u, NodeId v, double cost) {
+    SR_CHECK(u >= 0 && static_cast<size_t>(u) < positions_.size());
+    SR_CHECK(v >= 0 && static_cast<size_t>(v) < positions_.size());
+    adjacency_[static_cast<size_t>(u)].push_back({v, cost});
+    adjacency_[static_cast<size_t>(v)].push_back({u, cost});
+    ++num_edges_;
+  }
+
+  size_t num_nodes() const { return positions_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const Point& position(NodeId v) const {
+    return positions_[static_cast<size_t>(v)];
+  }
+
+  const std::vector<Arc>& arcs(NodeId v) const {
+    return adjacency_[static_cast<size_t>(v)];
+  }
+
+  double EuclidLowerBound(NodeId u, NodeId v) const {
+    return EuclidDistance(position(u), position(v));
+  }
+
+  size_t MemoryBytes() const {
+    size_t bytes = positions_.size() * sizeof(Point);
+    bytes += adjacency_.size() * sizeof(std::vector<Arc>);
+    for (const auto& arcs : adjacency_) bytes += arcs.size() * sizeof(Arc);
+    return bytes;
+  }
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<std::vector<Arc>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace structride

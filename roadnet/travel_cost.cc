@@ -1,0 +1,90 @@
+#include "roadnet/travel_cost.h"
+
+#include "roadnet/contraction_hierarchies.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/hub_labeling.h"
+
+namespace structride {
+
+namespace {
+inline uint64_t PairKey(NodeId s, NodeId t) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(s)) << 32) |
+         static_cast<uint32_t>(t);
+}
+}  // namespace
+
+TravelCostEngine::TravelCostEngine(const RoadNetwork& net,
+                                   TravelCostOptions options)
+    : net_(net), options_(options) {
+  switch (options_.backend) {
+    case TravelCostOptions::Backend::kHubLabeling:
+      hub_labels_ = std::make_unique<HubLabeling>(net_);
+      break;
+    case TravelCostOptions::Backend::kContractionHierarchies:
+      ch_ = std::make_unique<ContractionHierarchies>(net_);
+      break;
+    case TravelCostOptions::Backend::kBidirectionalDijkstra:
+      break;
+  }
+}
+
+TravelCostEngine::~TravelCostEngine() = default;
+
+double TravelCostEngine::BackendCost(NodeId s, NodeId t) const {
+  switch (options_.backend) {
+    case TravelCostOptions::Backend::kHubLabeling:
+      return hub_labels_->Query(s, t);
+    case TravelCostOptions::Backend::kContractionHierarchies:
+      return ch_->Query(s, t);
+    case TravelCostOptions::Backend::kBidirectionalDijkstra:
+      return BidirectionalDijkstra(net_, s, t);
+  }
+  return 0;  // unreachable
+}
+
+double TravelCostEngine::Cost(NodeId s, NodeId t) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (s == t) return 0;
+  uint64_t key = PairKey(s, t);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  double cost = BackendCost(s, t);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      lru_.emplace_front(key, cost);
+      cache_[key] = lru_.begin();
+      if (cache_.size() > options_.cache_capacity) {
+        cache_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+  }
+  return cost;
+}
+
+double TravelCostEngine::CacheHitRate() const {
+  uint64_t lookups = num_lookups();
+  if (lookups == 0) return 0;
+  return 1.0 - static_cast<double>(num_queries()) / static_cast<double>(lookups);
+}
+
+size_t TravelCostEngine::MemoryBytes() const {
+  size_t bytes = 0;
+  if (hub_labels_) bytes += hub_labels_->MemoryBytes();
+  if (ch_) bytes += ch_->MemoryBytes();
+  std::lock_guard<std::mutex> lock(mutex_);
+  bytes += cache_.size() * (sizeof(uint64_t) * 2 + sizeof(double) +
+                            4 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace structride

@@ -1,0 +1,79 @@
+// The travel-cost oracle every layer above roadnet/ programs against: a
+// point-to-point shortest-path backend (hub labels by default, matching the
+// paper's setup) behind an LRU cache, with thread-safe query accounting so
+// benches can report #SP queries per run.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+
+#include "roadnet/road_network.h"
+
+namespace structride {
+
+class HubLabeling;
+class ContractionHierarchies;
+
+struct TravelCostOptions {
+  enum class Backend {
+    kHubLabeling,
+    kContractionHierarchies,
+    kBidirectionalDijkstra,
+  };
+  Backend backend = Backend::kHubLabeling;
+  size_t cache_capacity = 1u << 20;
+};
+
+class TravelCostEngine {
+ public:
+  explicit TravelCostEngine(const RoadNetwork& net,
+                            TravelCostOptions options = {});
+  ~TravelCostEngine();
+
+  TravelCostEngine(const TravelCostEngine&) = delete;
+  TravelCostEngine& operator=(const TravelCostEngine&) = delete;
+
+  /// Shortest-path travel cost between two nodes. Thread-safe.
+  double Cost(NodeId s, NodeId t) const;
+
+  /// Admissible lower bound (straight-line distance); free, never counted.
+  double LowerBound(NodeId s, NodeId t) const {
+    return net_.EuclidLowerBound(s, t);
+  }
+
+  const RoadNetwork& network() const { return net_; }
+
+  /// Backend shortest-path computations (i.e. cache misses).
+  uint64_t num_queries() const { return queries_.load(std::memory_order_relaxed); }
+  /// All Cost() calls, hits included.
+  uint64_t num_lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  double CacheHitRate() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  double BackendCost(NodeId s, NodeId t) const;
+
+  const RoadNetwork& net_;
+  TravelCostOptions options_;
+  std::unique_ptr<HubLabeling> hub_labels_;
+  std::unique_ptr<ContractionHierarchies> ch_;
+
+  // LRU cache keyed on the (s, t) pair; guarded by a mutex because the SARD
+  // parallel acceptance stage queries from worker threads.
+  mutable std::mutex mutex_;
+  mutable std::list<std::pair<uint64_t, double>> lru_;
+  mutable std::unordered_map<uint64_t,
+                             std::list<std::pair<uint64_t, double>>::iterator>
+      cache_;
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> lookups_{0};
+};
+
+}  // namespace structride

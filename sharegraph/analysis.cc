@@ -1,0 +1,236 @@
+#include "sharegraph/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace structride {
+
+DegreeProfile ComputeDegreeProfile(const ShareGraph& g) {
+  DegreeProfile profile;
+  profile.num_nodes = g.NumNodes();
+  profile.num_edges = g.NumEdges();
+  if (profile.num_nodes == 0) return profile;
+  profile.mean_degree =
+      2.0 * static_cast<double>(profile.num_edges) /
+      static_cast<double>(profile.num_nodes);
+
+  // Clauset-style continuous MLE over positive degrees with d_min = 1:
+  // eta = 1 + n / sum(ln(d_i / 0.5)).
+  double log_sum = 0;
+  size_t positive = 0;
+  for (RequestId v : g.Nodes()) {
+    size_t d = g.Degree(v);
+    if (d == 0) continue;
+    ++positive;
+    log_sum += std::log(static_cast<double>(d) / 0.5);
+  }
+  if (positive > 0 && log_sum > 0) {
+    profile.power_law_exponent = 1.0 + static_cast<double>(positive) / log_sum;
+  }
+  return profile;
+}
+
+CoreDecomposition ComputeCoreDecomposition(const ShareGraph& g) {
+  CoreDecomposition out;
+  std::unordered_map<RequestId, int> degree;
+  for (RequestId v : g.Nodes()) degree[v] = static_cast<int>(g.Degree(v));
+
+  // Bucketed peeling in ascending-degree order.
+  int max_degree = 0;
+  for (const auto& [v, d] : degree) {
+    (void)v;
+    max_degree = std::max(max_degree, d);
+  }
+  std::vector<std::vector<RequestId>> buckets(
+      static_cast<size_t>(max_degree) + 1);
+  for (RequestId v : g.Nodes()) buckets[static_cast<size_t>(degree[v])].push_back(v);
+
+  std::unordered_set<RequestId> removed;
+  int current_core = 0;
+  for (int d = 0; d <= max_degree; ++d) {
+    auto& bucket = buckets[static_cast<size_t>(d)];
+    for (size_t k = 0; k < bucket.size(); ++k) {  // bucket grows during peel
+      RequestId v = bucket[k];
+      if (removed.count(v) || degree[v] != d) continue;
+      current_core = std::max(current_core, d);
+      out.core_number[v] = current_core;
+      removed.insert(v);
+      for (RequestId nb : g.Neighbors(v)) {
+        if (removed.count(nb)) continue;
+        int& dn = degree[nb];
+        if (dn > d) {
+          --dn;
+          if (dn <= d) {
+            bucket.push_back(nb);
+          } else {
+            buckets[static_cast<size_t>(dn)].push_back(nb);
+          }
+        }
+      }
+    }
+  }
+  out.degeneracy = current_core;
+  return out;
+}
+
+std::vector<std::vector<RequestId>> ConnectedComponents(const ShareGraph& g) {
+  std::vector<std::vector<RequestId>> components;
+  std::unordered_set<RequestId> seen;
+  for (RequestId root : g.Nodes()) {
+    if (seen.count(root)) continue;
+    std::vector<RequestId> component;
+    std::vector<RequestId> frontier = {root};
+    seen.insert(root);
+    while (!frontier.empty()) {
+      RequestId v = frontier.back();
+      frontier.pop_back();
+      component.push_back(v);
+      for (RequestId nb : g.Neighbors(v)) {
+        if (seen.insert(nb).second) frontier.push_back(nb);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+namespace {
+
+constexpr size_t kMaxCliques = 1u << 20;
+
+void BronKerbosch(const ShareGraph& g, std::vector<RequestId>& r,
+                  std::vector<RequestId> p, std::vector<RequestId> x,
+                  std::vector<std::vector<RequestId>>* out) {
+  if (out->size() >= kMaxCliques) return;
+  if (p.empty() && x.empty()) {
+    out->push_back(r);
+    return;
+  }
+  // Pivot: the candidate with most neighbors inside P.
+  RequestId pivot = 0;
+  size_t best = 0;
+  bool have_pivot = false;
+  for (const auto* pool : {&p, &x}) {
+    for (RequestId u : *pool) {
+      size_t count = 0;
+      for (RequestId v : p) {
+        if (g.HasEdge(u, v)) ++count;
+      }
+      if (!have_pivot || count > best) {
+        have_pivot = true;
+        best = count;
+        pivot = u;
+      }
+    }
+  }
+  std::vector<RequestId> candidates;
+  for (RequestId v : p) {
+    if (!have_pivot || !g.HasEdge(pivot, v)) candidates.push_back(v);
+  }
+  for (RequestId v : candidates) {
+    std::vector<RequestId> np, nx;
+    for (RequestId u : p) {
+      if (g.HasEdge(u, v)) np.push_back(u);
+    }
+    for (RequestId u : x) {
+      if (g.HasEdge(u, v)) nx.push_back(u);
+    }
+    r.push_back(v);
+    BronKerbosch(g, r, std::move(np), std::move(nx), out);
+    r.pop_back();
+    p.erase(std::remove(p.begin(), p.end(), v), p.end());
+    x.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<RequestId>> MaximalCliques(const ShareGraph& g) {
+  std::vector<std::vector<RequestId>> out;
+  std::vector<RequestId> r;
+  BronKerbosch(g, r, g.Nodes(), {}, &out);
+  return out;
+}
+
+std::vector<std::vector<RequestId>> GreedyCliquePartition(
+    const ShareGraph& g, size_t max_clique_size) {
+  if (max_clique_size == 0) max_clique_size = 1;
+  // Seed from the least shareable nodes first (they have the fewest chances
+  // to join a clique later); ties broken by id for determinism.
+  std::vector<RequestId> order = g.Nodes();
+  std::stable_sort(order.begin(), order.end(), [&](RequestId a, RequestId b) {
+    size_t da = g.Degree(a), db = g.Degree(b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  std::unordered_set<RequestId> assigned;
+  std::vector<std::vector<RequestId>> cliques;
+  for (RequestId seed : order) {
+    if (assigned.count(seed)) continue;
+    std::vector<RequestId> clique = {seed};
+    assigned.insert(seed);
+    while (clique.size() < max_clique_size) {
+      RequestId pick = 0;
+      bool found = false;
+      size_t pick_degree = 0;
+      for (RequestId nb : g.Neighbors(clique[0])) {
+        if (assigned.count(nb)) continue;
+        bool adjacent_to_all = true;
+        for (size_t k = 1; k < clique.size(); ++k) {
+          if (!g.HasEdge(clique[k], nb)) {
+            adjacent_to_all = false;
+            break;
+          }
+        }
+        if (!adjacent_to_all) continue;
+        size_t d = g.Degree(nb);
+        if (!found || d < pick_degree || (d == pick_degree && nb < pick)) {
+          found = true;
+          pick = nb;
+          pick_degree = d;
+        }
+      }
+      if (!found) break;
+      clique.push_back(pick);
+      assigned.insert(pick);
+    }
+    cliques.push_back(std::move(clique));
+  }
+  return cliques;
+}
+
+StructureReport AnalyzeStructure(const ShareGraph& g, size_t capacity) {
+  StructureReport report;
+  report.degrees = ComputeDegreeProfile(g);
+  report.degeneracy = ComputeCoreDecomposition(g).degeneracy;
+  size_t omega = 0;
+  for (const auto& clique : MaximalCliques(g)) {
+    omega = std::max(omega, clique.size());
+  }
+  report.max_clique = omega;
+  report.greedy_partition_cliques = GreedyCliquePartition(g, capacity).size();
+
+  // Maximal matching in node order: each matched pair merges into one
+  // clique, so theta' <= n - |M|.
+  std::unordered_set<RequestId> matched;
+  size_t matching = 0;
+  for (RequestId v : g.Nodes()) {
+    if (matched.count(v)) continue;
+    for (RequestId nb : g.Neighbors(v)) {
+      if (!matched.count(nb)) {
+        matched.insert(v);
+        matched.insert(nb);
+        ++matching;
+        break;
+      }
+    }
+  }
+  report.partition_upper_bound = g.NumNodes() - matching;
+  report.num_components = ConnectedComponents(g).size();
+  return report;
+}
+
+}  // namespace structride

@@ -1,0 +1,58 @@
+// Structural analyses of shareability graphs: the measurements behind the
+// paper's theory (power-law degree profile, degeneracy, clique structure,
+// capacity-bounded clique partition and its matching-based upper bound).
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "sharegraph/share_graph.h"
+
+namespace structride {
+
+struct DegreeProfile {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double mean_degree = 0;
+  /// Continuous MLE power-law exponent eta fitted to positive degrees
+  /// (Theorem IV.1 assumes a power-law profile); 0 when degenerate.
+  double power_law_exponent = 0;
+};
+
+DegreeProfile ComputeDegreeProfile(const ShareGraph& g);
+
+struct CoreDecomposition {
+  std::unordered_map<RequestId, int> core_number;
+  int degeneracy = 0;
+};
+
+CoreDecomposition ComputeCoreDecomposition(const ShareGraph& g);
+
+/// Connected components, each listing nodes in graph insertion order.
+std::vector<std::vector<RequestId>> ConnectedComponents(const ShareGraph& g);
+
+/// All maximal cliques (Bron-Kerbosch with pivoting). Intended for
+/// batch-sized graphs; output capped defensively at 1M cliques.
+std::vector<std::vector<RequestId>> MaximalCliques(const ShareGraph& g);
+
+/// Greedy partition of the nodes into cliques of size <= max_clique_size
+/// (the capacity-bounded grouping regime of Eq. 6/8).
+std::vector<std::vector<RequestId>> GreedyCliquePartition(
+    const ShareGraph& g, size_t max_clique_size);
+
+struct StructureReport {
+  DegreeProfile degrees;
+  int degeneracy = 0;
+  size_t max_clique = 0;  ///< omega
+  size_t greedy_partition_cliques = 0;
+  /// Clique-partition upper bound n - |M| from a maximal matching M (each
+  /// matched pair can always merge into one clique).
+  size_t partition_upper_bound = 0;
+  size_t num_components = 0;
+};
+
+StructureReport AnalyzeStructure(const ShareGraph& g, size_t capacity);
+
+}  // namespace structride

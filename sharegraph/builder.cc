@@ -1,0 +1,123 @@
+#include "sharegraph/builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace structride {
+
+namespace {
+
+// The four stop orders in which the two rides overlap (sequential service is
+// not "sharing" and would make the graph near-complete).
+constexpr int kJointOrders[4][4] = {
+    // 0=pickup a, 1=pickup b, 2=dropoff a, 3=dropoff b
+    {0, 1, 2, 3},
+    {0, 1, 3, 2},
+    {1, 0, 2, 3},
+    {1, 0, 3, 2},
+};
+
+}  // namespace
+
+template <typename Check>
+bool ShareGraphBuilder::AnyJointOrderFeasible(const Request& a,
+                                              const Request& b,
+                                              Check check) const {
+  const Stop stops[4] = {PickupStop(a), PickupStop(b), DropoffStop(a),
+                         DropoffStop(b)};
+  std::vector<Stop> sequence(4);
+  for (const auto& order : kJointOrders) {
+    for (int k = 0; k < 4; ++k) sequence[static_cast<size_t>(k)] = stops[order[k]];
+    const Request& first = order[0] == 0 ? a : b;
+    RouteState state;
+    state.start = first.source;
+    state.start_time = first.release_time;
+    // A pair needs two seats; a capacity-1 fleet shares nothing.
+    state.capacity = std::min(2, options_.vehicle_capacity);
+    if (check(state, sequence)) return true;
+  }
+  return false;
+}
+
+bool ShareGraphBuilder::Shareable(const Request& a, const Request& b) const {
+  return AnyJointOrderFeasible(
+      a, b, [this](const RouteState& state, const std::vector<Stop>& stops) {
+        return CheckSchedule(state, stops, engine_).first;
+      });
+}
+
+bool ShareGraphBuilder::LowerBoundShareable(const Request& a,
+                                            const Request& b) const {
+  return AnyJointOrderFeasible(
+      a, b, [this](const RouteState& state, const std::vector<Stop>& stops) {
+        return CheckScheduleLowerBound(state, stops, engine_).first;
+      });
+}
+
+bool ShareGraphBuilder::AngleWide(const Request& a, const Request& b) const {
+  const RoadNetwork& net = engine_->network();
+  Point sa = net.position(a.source), ea = net.position(a.destination);
+  Point sb = net.position(b.source), eb = net.position(b.destination);
+  // Directions of both trips as seen from the other trip's origin.
+  double theta_ab = AngleBetween(ea - sb, eb - sb);
+  double theta_ba = AngleBetween(eb - sa, ea - sa);
+  return theta_ab >= options_.angle_threshold ||
+         theta_ba >= options_.angle_threshold;
+}
+
+void ShareGraphBuilder::AddBatch(const std::vector<Request>& batch) {
+  size_t first_new = order_.size();
+  for (const Request& r : batch) {
+    if (requests_.count(r.id)) continue;
+    requests_[r.id] = r;
+    order_.push_back(r.id);
+    graph_.AddNode(r.id);
+  }
+  for (size_t i = first_new; i < order_.size(); ++i) {
+    const Request& a = requests_[order_[i]];
+    for (size_t j = 0; j < i; ++j) {
+      const Request& b = requests_[order_[j]];
+      // Temporal screen: if one ride must end before the other exists, no
+      // overlapping order can be feasible.
+      if (a.release_time > b.deadline || b.release_time > a.deadline) continue;
+      if (options_.use_angle_pruning && AngleWide(a, b) &&
+          !LowerBoundShareable(a, b)) {
+        ++pruned_pairs_;
+        continue;
+      }
+      if (Shareable(a, b)) graph_.AddEdge(a.id, b.id);
+    }
+  }
+}
+
+void ShareGraphBuilder::Retain(const std::vector<RequestId>& keep) {
+  std::unordered_set<RequestId> keep_set(keep.begin(), keep.end());
+  std::vector<RequestId> drop;
+  for (RequestId id : order_) {
+    if (!keep_set.count(id)) drop.push_back(id);
+  }
+  for (RequestId id : drop) {
+    graph_.RemoveNode(id);
+    requests_.erase(id);
+  }
+  order_.erase(std::remove_if(order_.begin(), order_.end(),
+                              [&](RequestId id) { return !keep_set.count(id); }),
+               order_.end());
+}
+
+const Request& ShareGraphBuilder::request(RequestId id) const {
+  auto it = requests_.find(id);
+  SR_CHECK(it != requests_.end());
+  return it->second;
+}
+
+size_t ShareGraphBuilder::MemoryBytes() const {
+  size_t bytes = graph_.MemoryBytes();
+  bytes += requests_.size() * (sizeof(Request) + sizeof(RequestId) + 2 * sizeof(void*));
+  bytes += order_.size() * sizeof(RequestId);
+  return bytes;
+}
+
+}  // namespace structride

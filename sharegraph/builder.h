@@ -1,0 +1,78 @@
+// Shareability-graph construction (Alg. 1): fold request batches into the
+// graph by testing pairwise joint-service feasibility with the travel-cost
+// engine. The angle pruning (Sec. III-B) screens divergent-direction pairs
+// with a free Euclidean lower-bound walk before spending shortest-path
+// queries; because the lower bound never overestimates, the pruned graph is
+// identical to the unpruned one — only cheaper to build.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/schedule.h"
+#include "geo/angle.h"
+#include "sharegraph/share_graph.h"
+
+namespace structride {
+
+struct ShareGraphBuilderOptions {
+  bool use_angle_pruning = false;
+  /// Seats on the (hypothetical) shared vehicle; pairs share iff
+  /// min(2, vehicle_capacity) seats admit an overlapping order.
+  int vehicle_capacity = 4;
+  /// Pairs whose trip directions diverge by at least this angle go through
+  /// the lower-bound screen first (paper default: pi/2).
+  double angle_threshold = kPi / 2;
+};
+
+class ShareGraphBuilder {
+ public:
+  ShareGraphBuilder(TravelCostEngine* engine, ShareGraphBuilderOptions options)
+      : engine_(engine), options_(options) {}
+
+  /// Adds a batch: nodes for every request, then shareability edges among
+  /// the batch and against all previously added requests.
+  void AddBatch(const std::vector<Request>& batch);
+
+  const ShareGraph& graph() const { return graph_; }
+  ShareGraph* mutable_graph() { return &graph_; }
+
+  const Request& request(RequestId id) const;
+  bool has_request(RequestId id) const { return requests_.count(id) > 0; }
+
+  /// Exact pairwise test: can one two-seat vehicle serve both requests with
+  /// overlapping rides, within both deadlines? Costs shortest-path queries.
+  bool Shareable(const Request& a, const Request& b) const;
+
+  /// Drops every request not in \p keep (assigned, expired or cancelled
+  /// riders leave the graph; the paper's builder only carries open
+  /// requests between batches).
+  void Retain(const std::vector<RequestId>& keep);
+
+  /// Pairs short-circuited by the angle screen (no shortest-path queries).
+  uint64_t pruned_pairs() const { return pruned_pairs_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  bool AngleWide(const Request& a, const Request& b) const;
+  /// False only when the pair is provably unshareable under the Euclidean
+  /// lower-bound metric.
+  bool LowerBoundShareable(const Request& a, const Request& b) const;
+
+  template <typename Check>
+  bool AnyJointOrderFeasible(const Request& a, const Request& b,
+                             Check check) const;
+
+  TravelCostEngine* engine_;
+  ShareGraphBuilderOptions options_;
+  ShareGraph graph_;
+  std::unordered_map<RequestId, Request> requests_;
+  std::vector<RequestId> order_;  ///< insertion order, for deterministic pairing
+  uint64_t pruned_pairs_ = 0;
+};
+
+}  // namespace structride

@@ -1,0 +1,32 @@
+#include "sharegraph/loss.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace structride {
+
+double ShareabilityLoss(const ShareGraph& g,
+                        const std::vector<RequestId>& group) {
+  if (group.empty()) return 0;
+  std::unordered_set<RequestId> members(group.begin(), group.end());
+  std::unordered_set<RequestId> external;
+  size_t common = 0;
+  for (RequestId v : group) {
+    for (RequestId nb : g.Neighbors(v)) {
+      if (!members.count(nb)) external.insert(nb);
+    }
+  }
+  for (RequestId nb : external) {
+    bool shared_by_all = true;
+    for (RequestId v : group) {
+      if (!g.HasEdge(v, nb)) {
+        shared_by_all = false;
+        break;
+      }
+    }
+    if (shared_by_all) ++common;
+  }
+  return static_cast<double>(external.size() - common);
+}
+
+}  // namespace structride

@@ -1,0 +1,16 @@
+// Shareability loss of collapsing a group into a supernode: how many
+// external requests lose their sharing option because they neighbor some —
+// but not all — group members (the supernode keeps only common neighbors).
+
+#pragma once
+
+#include <vector>
+
+#include "sharegraph/share_graph.h"
+
+namespace structride {
+
+double ShareabilityLoss(const ShareGraph& g,
+                        const std::vector<RequestId>& group);
+
+}  // namespace structride

@@ -1,0 +1,96 @@
+#include "sharegraph/share_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace structride {
+
+namespace {
+const std::vector<RequestId> kEmpty;
+}
+
+void ShareGraph::AddNode(RequestId id) {
+  if (adjacency_.count(id)) return;
+  adjacency_[id] = {};
+  nodes_.push_back(id);
+}
+
+void ShareGraph::AddEdge(RequestId a, RequestId b) {
+  if (a == b) return;
+  AddNode(a);
+  AddNode(b);
+  if (HasEdge(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+}
+
+void ShareGraph::RemoveNode(RequestId id) {
+  auto it = adjacency_.find(id);
+  if (it == adjacency_.end()) return;
+  for (RequestId nb : it->second) {
+    auto& back = adjacency_[nb];
+    back.erase(std::remove(back.begin(), back.end(), id), back.end());
+    --num_edges_;
+  }
+  adjacency_.erase(it);
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), id), nodes_.end());
+}
+
+bool ShareGraph::HasEdge(RequestId a, RequestId b) const {
+  auto it = adjacency_.find(a);
+  if (it == adjacency_.end()) return false;
+  // Scan the smaller adjacency list; batch graphs have single-digit degrees.
+  auto jt = adjacency_.find(b);
+  if (jt == adjacency_.end()) return false;
+  const auto& list = it->second.size() <= jt->second.size() ? it->second
+                                                            : jt->second;
+  RequestId needle = &list == &it->second ? b : a;
+  return std::find(list.begin(), list.end(), needle) != list.end();
+}
+
+size_t ShareGraph::Degree(RequestId id) const {
+  auto it = adjacency_.find(id);
+  return it == adjacency_.end() ? 0 : it->second.size();
+}
+
+const std::vector<RequestId>& ShareGraph::Neighbors(RequestId id) const {
+  auto it = adjacency_.find(id);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+void ShareGraph::SubstituteSupernode(const std::vector<RequestId>& group,
+                                     RequestId super_id) {
+  SR_CHECK(!group.empty());
+  SR_CHECK(!HasNode(super_id));
+  // Common external neighbors, in the first member's adjacency order.
+  std::vector<RequestId> common;
+  for (RequestId nb : Neighbors(group[0])) {
+    if (std::find(group.begin(), group.end(), nb) != group.end()) continue;
+    bool shared_by_all = true;
+    for (size_t k = 1; k < group.size(); ++k) {
+      if (!HasEdge(group[k], nb)) {
+        shared_by_all = false;
+        break;
+      }
+    }
+    if (shared_by_all) common.push_back(nb);
+  }
+  for (RequestId member : group) RemoveNode(member);
+  AddNode(super_id);
+  for (RequestId nb : common) AddEdge(super_id, nb);
+}
+
+size_t ShareGraph::MemoryBytes() const {
+  size_t bytes = nodes_.size() * sizeof(RequestId);
+  bytes += adjacency_.size() *
+           (sizeof(RequestId) + sizeof(std::vector<RequestId>) + 2 * sizeof(void*));
+  for (const auto& [id, nbrs] : adjacency_) {
+    (void)id;
+    bytes += nbrs.size() * sizeof(RequestId);
+  }
+  return bytes;
+}
+
+}  // namespace structride

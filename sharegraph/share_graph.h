@@ -1,0 +1,52 @@
+// The shareability graph: one node per open request, one edge per pair that
+// could ride together. Deterministic iteration order (insertion order) is a
+// hard requirement — dispatcher results must not depend on hash-map order.
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/request.h"
+
+namespace structride {
+
+class ShareGraph {
+ public:
+  /// Adds an isolated node; ignored if already present.
+  void AddNode(RequestId id);
+
+  /// Adds an undirected edge (nodes added implicitly; self/duplicate edges
+  /// ignored).
+  void AddEdge(RequestId a, RequestId b);
+
+  void RemoveNode(RequestId id);
+
+  bool HasNode(RequestId id) const { return adjacency_.count(id) > 0; }
+  bool HasEdge(RequestId a, RequestId b) const;
+  size_t Degree(RequestId id) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Nodes in insertion order.
+  const std::vector<RequestId>& Nodes() const { return nodes_; }
+  /// Neighbors of \p id in edge-insertion order (empty for unknown nodes).
+  const std::vector<RequestId>& Neighbors(RequestId id) const;
+
+  /// Collapses \p group into a single supernode \p super_id whose neighbors
+  /// are the group's common external neighbors (the pairs every member could
+  /// still share with).
+  void SubstituteSupernode(const std::vector<RequestId>& group,
+                           RequestId super_id);
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<RequestId> nodes_;
+  std::unordered_map<RequestId, std::vector<RequestId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace structride

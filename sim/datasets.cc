@@ -1,0 +1,92 @@
+#include "sim/datasets.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace structride {
+
+namespace {
+
+DatasetSpec ChdPreset() {
+  DatasetSpec spec;
+  spec.name = "CHD";
+  spec.city.rows = 40;
+  spec.city.cols = 40;
+  spec.city.seed = 101;
+  spec.city.block = 5;  // mean trip ~170 cost-seconds: paper-like utilization
+  spec.num_vehicles = 120;   // paper default 3K vehicles / 25
+  spec.capacity = 4;
+  spec.policy.gamma = 1.5;
+  spec.workload.num_requests = 4000;  // paper default 100K / 25
+  spec.workload.duration = 21600;
+  spec.workload.seed = 1001;
+  return spec;
+}
+
+DatasetSpec NycPreset() {
+  DatasetSpec spec;
+  spec.name = "NYC";
+  spec.city.rows = 48;
+  spec.city.cols = 48;
+  spec.city.seed = 202;
+  spec.city.block = 4;  // bigger grid, same trip-length regime as CHD
+  spec.city.diagonal_prob = 0.08;  // Manhattan-ish: fewer diagonal streets
+  spec.num_vehicles = 120;
+  spec.capacity = 4;
+  spec.policy.gamma = 1.5;
+  spec.workload.num_requests = 4000;
+  spec.workload.duration = 21600;
+  spec.workload.seed = 2002;
+  spec.workload.hotspot_fraction = 0.7;  // denser demand clusters
+  return spec;
+}
+
+DatasetSpec CainiaoPreset() {
+  DatasetSpec spec;
+  spec.name = "Cainiao";
+  spec.city.rows = 32;
+  spec.city.cols = 32;
+  spec.city.seed = 303;
+  spec.city.block = 6;
+  spec.num_vehicles = 160;  // paper default 4K couriers / 25
+  spec.capacity = 4;
+  spec.policy.gamma = 2.0;  // parcels tolerate longer detours (App. B)
+  spec.workload.num_requests = 4000;
+  spec.workload.duration = 21600;
+  spec.workload.seed = 3003;
+  spec.workload.hotspot_fraction = 0.8;  // depot-heavy logistics demand
+  spec.workload.num_hotspots = 5;
+  return spec;
+}
+
+}  // namespace
+
+DatasetSpec DatasetByName(const std::string& name, double scale) {
+  SR_CHECK(scale > 0);
+  DatasetSpec spec;
+  if (name == "CHD") {
+    spec = ChdPreset();
+  } else if (name == "NYC") {
+    spec = NycPreset();
+  } else if (name == "Cainiao") {
+    spec = CainiaoPreset();
+  } else {
+    SR_LOG("unknown dataset '%s' (want CHD, NYC or Cainiao)", name.c_str());
+    SR_CHECK(false);
+  }
+  // The one and only place scale is applied (see header).
+  spec.num_vehicles = std::max(
+      1, static_cast<int>(std::lround(spec.num_vehicles * scale)));
+  spec.workload.num_requests = std::max(
+      1, static_cast<int>(std::lround(spec.workload.num_requests * scale)));
+  spec.workload.duration *= scale;
+  return spec;
+}
+
+RoadNetwork BuildNetwork(const DatasetSpec* spec) {
+  SR_CHECK(spec != nullptr);
+  return GenerateGridCity(spec->city);
+}
+
+}  // namespace structride

@@ -1,0 +1,36 @@
+// Dataset presets: the synthetic stand-ins for the paper's three cities
+// (Chengdu taxis, NYC taxis, Cainiao logistics). A preset at scale 1 is the
+// DESIGN.md default size, roughly 1/25 of the paper's full workload; the
+// paper's Table-III defaults correspond to scale ~25.
+//
+// Scaling semantics (DESIGN.md §2): DatasetByName applies \p scale to the
+// request count, the fleet size AND the arrival window, exactly once —
+// callers must not rescale any of them again. Network size is a property of
+// the city and does not scale.
+
+#pragma once
+
+#include <string>
+
+#include "roadnet/generator.h"
+#include "sim/workload.h"
+
+namespace structride {
+
+struct DatasetSpec {
+  std::string name;
+  CityOptions city;
+  int num_vehicles = 0;
+  int capacity = 0;  ///< Table-III default seat count
+  DeadlinePolicy policy;
+  WorkloadOptions workload;
+};
+
+/// Preset by name ("CHD", "NYC", "Cainiao"), already scaled.
+/// SR_CHECK-fails on unknown names or non-positive scales.
+DatasetSpec DatasetByName(const std::string& name, double scale);
+
+/// Materializes the preset's road network.
+RoadNetwork BuildNetwork(const DatasetSpec* spec);
+
+}  // namespace structride

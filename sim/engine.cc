@@ -1,0 +1,184 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace structride {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+SimulationEngine::SimulationEngine(TravelCostEngine* engine,
+                                   std::vector<Request> requests,
+                                   SimulationOptions options)
+    : engine_(engine),
+      requests_(std::move(requests)),
+      options_(options),
+      run_rng_(options.seed ^ 0xfa51c0de5eedull) {
+  SR_CHECK(engine_ != nullptr);
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.release_time < b.release_time;
+                   });
+}
+
+void SimulationEngine::SpawnFleet(int num_vehicles, int capacity) {
+  SR_CHECK(num_vehicles > 0);
+  SR_CHECK(capacity > 0);
+  Rng rng(options_.seed);
+  spawn_nodes_.clear();
+  int64_t n = static_cast<int64_t>(engine_->network().num_nodes());
+  for (int i = 0; i < num_vehicles; ++i) {
+    spawn_nodes_.push_back(static_cast<NodeId>(rng.UniformInt(0, n - 1)));
+  }
+  spawn_capacity_ = capacity;
+}
+
+RunMetrics SimulationEngine::Run(const std::string& algorithm,
+                                 const DispatchConfig& config) {
+  SR_CHECK(!spawn_nodes_.empty());  // SpawnFleet first
+  const size_t n = requests_.size();
+
+  // Fresh fleet from the fixed spawn; per-run capacity draws under the
+  // Appendix-C variance model.
+  std::vector<Vehicle> fleet;
+  fleet.reserve(spawn_nodes_.size());
+  for (size_t i = 0; i < spawn_nodes_.size(); ++i) {
+    int capacity = spawn_capacity_;
+    if (options_.capacity_sigma > 0) {
+      double draw = run_rng_.Gaussian(static_cast<double>(options_.capacity_mean),
+                                      options_.capacity_sigma);
+      capacity = std::max(1, static_cast<int>(std::lround(draw)));
+    }
+    fleet.emplace_back(static_cast<int>(i), spawn_nodes_[i], capacity);
+  }
+
+  // Rider impatience draws.
+  std::vector<double> cancel_time(n, kInf);
+  if (options_.cancellation_rate > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (run_rng_.Uniform(0, 1) < options_.cancellation_rate) {
+        cancel_time[i] = requests_[i].release_time +
+                         run_rng_.Exponential(options_.cancellation_patience);
+      }
+    }
+  }
+
+  std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(algorithm, config);
+  const uint64_t queries_before = engine_->num_queries();
+
+  int served = 0;
+  int cancelled = 0;
+  std::unordered_set<RequestId> served_ids;
+  auto on_stop = [&](const Stop& stop, double when) {
+    if (stop.kind == StopKind::kDropoff && when <= stop.deadline + 1e-6) {
+      ++served;
+      served_ids.insert(stop.request);
+    }
+  };
+
+  std::vector<const Request*> pending;
+  std::vector<size_t> pending_idx;  // parallel: index into requests_
+  size_t next_release = 0;
+  double now = 0;
+  double dispatch_seconds = 0;
+  const double period = options_.batch_period > 0 ? options_.batch_period : 1;
+
+  while (true) {
+    now += period;
+    while (next_release < n && requests_[next_release].release_time <= now) {
+      pending.push_back(&requests_[next_release]);
+      pending_idx.push_back(next_release);
+      ++next_release;
+    }
+    for (Vehicle& v : fleet) v.AdvanceTo(now, on_stop);
+
+    // Fault model + deadline expiry on the open set.
+    {
+      std::vector<const Request*> keep;
+      std::vector<size_t> keep_idx;
+      for (size_t k = 0; k < pending.size(); ++k) {
+        const Request* r = pending[k];
+        if (now > r->latest_pickup) continue;  // expired: unserved
+        if (cancel_time[pending_idx[k]] < now) {
+          ++cancelled;
+          continue;
+        }
+        keep.push_back(r);
+        keep_idx.push_back(pending_idx[k]);
+      }
+      pending = std::move(keep);
+      pending_idx = std::move(keep_idx);
+    }
+
+    DispatchContext ctx;
+    ctx.now = now;
+    ctx.engine = engine_;
+    ctx.fleet = &fleet;
+    ctx.pending = pending;
+    auto t0 = std::chrono::steady_clock::now();
+    dispatcher->OnBatch(&ctx);
+    dispatch_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (!ctx.assigned.empty() || !ctx.rejected.empty()) {
+      std::unordered_set<RequestId> remove(ctx.assigned.begin(),
+                                           ctx.assigned.end());
+      remove.insert(ctx.rejected.begin(), ctx.rejected.end());
+      std::vector<const Request*> keep;
+      std::vector<size_t> keep_idx;
+      for (size_t k = 0; k < pending.size(); ++k) {
+        if (remove.count(pending[k]->id)) continue;
+        keep.push_back(pending[k]);
+        keep_idx.push_back(pending_idx[k]);
+      }
+      pending = std::move(keep);
+      pending_idx = std::move(keep_idx);
+    }
+
+    if (next_release >= n && pending.empty()) {
+      bool busy = false;
+      for (const Vehicle& v : fleet) {
+        if (!v.idle()) {
+          busy = true;
+          break;
+        }
+      }
+      if (!busy) break;
+    }
+  }
+  for (Vehicle& v : fleet) v.AdvanceTo(kInf, on_stop);
+
+  RunMetrics metrics;
+  metrics.algorithm = algorithm;
+  metrics.total_requests = static_cast<int>(n);
+  metrics.served = served;
+  metrics.cancelled = cancelled;
+  metrics.service_rate =
+      n == 0 ? 0 : static_cast<double>(served) / static_cast<double>(n);
+  for (const Vehicle& v : fleet) metrics.travel_cost += v.total_travel_cost();
+  // Unified cost (Sec. II): total travel plus p_r for every request not
+  // served, with p_r = coefficient * direct cost. Cancelled riders count as
+  // unserved — the platform lost them.
+  double penalty = 0;
+  for (const Request& r : requests_) {
+    if (!served_ids.count(r.id)) {
+      penalty += config.penalty_coefficient * r.direct_cost;
+    }
+  }
+  metrics.penalty_cost = penalty;
+  metrics.unified_cost = metrics.travel_cost + penalty;
+  metrics.running_time = dispatch_seconds;
+  metrics.sp_queries = engine_->num_queries() - queries_before;
+  metrics.memory_bytes = dispatcher->MemoryBytes();
+  return metrics;
+}
+
+}  // namespace structride

@@ -1,0 +1,73 @@
+// The batch simulation engine: replays a request stream against a fleet and
+// one dispatcher, advancing in fixed batch periods. Produces the unified
+// metrics the paper plots (unified cost, service rate, running time,
+// #SP queries, instrumented memory) plus the fault-model counters.
+//
+// Statefulness contract: SpawnFleet fixes the fleet's spawn positions once;
+// every Run starts from that spawn with fresh request state, but the fault
+// model's RNG (capacity draws, cancellation draws) advances across runs on
+// the same engine. Comparisons between algorithms should therefore use one
+// freshly constructed engine per run whenever those draws are active.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dispatch/dispatcher.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+namespace structride {
+
+struct SimulationOptions {
+  double batch_period = 5;
+  uint64_t seed = 1;
+  /// Vehicle-capacity distribution N(capacity_mean, capacity_sigma),
+  /// clamped to >= 1 (Appendix C); sigma 0 keeps the SpawnFleet capacity.
+  double capacity_sigma = 0;
+  int capacity_mean = 4;
+  /// Rider impatience fault model: each request is a potential canceller
+  /// with this probability, leaving if unassigned after Exp(patience).
+  double cancellation_rate = 0;
+  double cancellation_patience = 60;
+};
+
+struct RunMetrics {
+  std::string dataset;
+  std::string algorithm;
+  double unified_cost = 0;  ///< travel + penalty over unserved requests
+  double travel_cost = 0;
+  double penalty_cost = 0;
+  double service_rate = 0;
+  double running_time = 0;  ///< dispatcher compute seconds (wall clock)
+  uint64_t sp_queries = 0;  ///< travel-cost backend computations
+  size_t memory_bytes = 0;  ///< dispatcher peak instrumented bytes
+  int served = 0;
+  int cancelled = 0;
+  int total_requests = 0;
+};
+
+class SimulationEngine {
+ public:
+  SimulationEngine(TravelCostEngine* engine, std::vector<Request> requests,
+                   SimulationOptions options);
+
+  /// Draws spawn positions (seeded) for \p num_vehicles vehicles with
+  /// \p capacity seats each. Call once before Run.
+  void SpawnFleet(int num_vehicles, int capacity);
+
+  /// Replays the whole stream under the named dispatcher.
+  RunMetrics Run(const std::string& algorithm, const DispatchConfig& config);
+
+ private:
+  TravelCostEngine* engine_;
+  std::vector<Request> requests_;  ///< sorted by release time
+  SimulationOptions options_;
+  std::vector<NodeId> spawn_nodes_;
+  int spawn_capacity_ = 0;
+  Rng run_rng_;  ///< fault-model draws; advances across runs (see header)
+};
+
+}  // namespace structride

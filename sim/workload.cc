@@ -1,0 +1,88 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace structride {
+
+namespace {
+
+// Node draw: either uniform, or rejection-sampled near a hotspot center.
+NodeId DrawNode(Rng& rng, const RoadNetwork& net,
+                const std::vector<NodeId>& hotspots, double radius,
+                double hotspot_fraction) {
+  int64_t n = static_cast<int64_t>(net.num_nodes());
+  if (!hotspots.empty() && rng.Uniform(0, 1) < hotspot_fraction) {
+    NodeId center = hotspots[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(hotspots.size()) - 1))];
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      NodeId v = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+      if (EuclidDistance(net.position(v), net.position(center)) <= radius) {
+        return v;
+      }
+    }
+    return center;
+  }
+  return static_cast<NodeId>(rng.UniformInt(0, n - 1));
+}
+
+}  // namespace
+
+std::vector<Request> GenerateWorkload(const RoadNetwork& net,
+                                      TravelCostEngine* engine,
+                                      const DeadlinePolicy& policy,
+                                      const WorkloadOptions& options) {
+  SR_CHECK(net.num_nodes() >= 2);
+  SR_CHECK(policy.gamma > 1.0);
+  Rng rng(options.seed);
+
+  std::vector<NodeId> hotspots;
+  for (int h = 0; h < options.num_hotspots; ++h) {
+    hotspots.push_back(static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1)));
+  }
+  double min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  for (size_t v = 0; v < net.num_nodes(); ++v) {
+    const Point& p = net.position(static_cast<NodeId>(v));
+    if (v == 0 || p.x < min_x) min_x = p.x;
+    if (v == 0 || p.x > max_x) max_x = p.x;
+    if (v == 0 || p.y < min_y) min_y = p.y;
+    if (v == 0 || p.y > max_y) max_y = p.y;
+  }
+  double diagonal = std::hypot(max_x - min_x, max_y - min_y);
+  double radius = options.hotspot_radius * diagonal;
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<size_t>(options.num_requests));
+  while (requests.size() < static_cast<size_t>(options.num_requests)) {
+    NodeId source =
+        DrawNode(rng, net, hotspots, radius, options.hotspot_fraction);
+    NodeId destination =
+        DrawNode(rng, net, hotspots, radius, options.hotspot_fraction);
+    if (source == destination) continue;
+    double direct = engine->Cost(source, destination);
+    if (!(direct > 0) || !std::isfinite(direct)) continue;
+    Request r;
+    r.source = source;
+    r.destination = destination;
+    r.release_time = rng.Uniform(0, options.duration);
+    r.direct_cost = direct;
+    r.deadline = r.release_time + policy.gamma * direct;
+    r.latest_pickup = r.deadline - direct;
+    requests.push_back(r);
+  }
+
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.release_time < b.release_time;
+                   });
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = static_cast<RequestId>(i);
+  }
+  return requests;
+}
+
+}  // namespace structride

@@ -1,0 +1,42 @@
+// Deterministic request-stream generation: hotspot-weighted origins and
+// destinations over a road network, uniform arrivals over the window, and
+// gamma-policy deadlines. The same (network, policy, options) always
+// produces the identical stream — sweeps re-use streams and tests rely on
+// it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request.h"
+#include "roadnet/travel_cost.h"
+
+namespace structride {
+
+struct DeadlinePolicy {
+  /// Deadline = release + gamma * direct_cost (Table III default 1.5).
+  double gamma = 1.5;
+};
+
+struct WorkloadOptions {
+  int num_requests = 1000;
+  double duration = 600;  ///< arrival window [0, duration)
+  uint64_t seed = 1;
+  /// Fraction of trip endpoints drawn near one of the hotspot centers; the
+  /// rest are uniform over the network.
+  double hotspot_fraction = 0.6;
+  int num_hotspots = 8;
+  /// Hotspot radius as a fraction of the network's bounding-box diagonal.
+  double hotspot_radius = 0.08;
+};
+
+/// Generates requests sorted by release time with ids 0..n-1 in that order.
+/// Uses \p engine for direct costs (these shortest-path queries happen once
+/// per request, outside any measured dispatch run).
+std::vector<Request> GenerateWorkload(const RoadNetwork& net,
+                                      TravelCostEngine* engine,
+                                      const DeadlinePolicy& policy,
+                                      const WorkloadOptions& options);
+
+}  // namespace structride

@@ -1,0 +1,96 @@
+// Shortest-path substrate: every backend must agree with plain Dijkstra on
+// a small grid, and the cached engine must count queries as misses only.
+
+#include <gtest/gtest.h>
+
+#include "roadnet/astar.h"
+#include "roadnet/contraction_hierarchies.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/generator.h"
+#include "roadnet/hub_labeling.h"
+#include "roadnet/travel_cost.h"
+#include "util/random.h"
+
+namespace structride {
+namespace {
+
+const RoadNetwork& Net() {
+  static RoadNetwork net = [] {
+    CityOptions opt;
+    opt.rows = 9;
+    opt.cols = 9;
+    opt.seed = 13;
+    return GenerateGridCity(opt);
+  }();
+  return net;
+}
+
+TEST(RoadnetTest, GeneratorShape) {
+  const RoadNetwork& net = Net();
+  EXPECT_EQ(net.num_nodes(), 81u);
+  EXPECT_GE(net.num_edges(), 2u * 8u * 9u);  // full grid at minimum
+}
+
+TEST(RoadnetTest, EdgeCostsDominateEuclid) {
+  const RoadNetwork& net = Net();
+  for (size_t v = 0; v < net.num_nodes(); ++v) {
+    for (const RoadNetwork::Arc& arc : net.arcs(static_cast<NodeId>(v))) {
+      EXPECT_GE(arc.cost,
+                net.EuclidLowerBound(static_cast<NodeId>(v), arc.to) - 1e-9);
+    }
+  }
+}
+
+TEST(RoadnetTest, AllBackendsMatchDijkstra) {
+  const RoadNetwork& net = Net();
+  HubLabeling hl(net);
+  ContractionHierarchies ch(net);
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    NodeId s = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    NodeId t = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    std::vector<double> ref = DijkstraAll(net, s);
+    double expected = ref[static_cast<size_t>(t)];
+    EXPECT_NEAR(BidirectionalDijkstra(net, s, t), expected, 1e-6);
+    EXPECT_NEAR(AStarCost(net, s, t), expected, 1e-6);
+    EXPECT_NEAR(hl.Query(s, t), expected, 1e-6);
+    EXPECT_NEAR(ch.Query(s, t), expected, 1e-6);
+    EXPECT_LE(net.EuclidLowerBound(s, t), expected + 1e-9);
+  }
+}
+
+TEST(RoadnetTest, EngineBackendsMatchAndCacheCountsMisses) {
+  const RoadNetwork& net = Net();
+  std::vector<double> ref = DijkstraAll(net, 0);
+
+  for (auto backend : {TravelCostOptions::Backend::kHubLabeling,
+                       TravelCostOptions::Backend::kContractionHierarchies,
+                       TravelCostOptions::Backend::kBidirectionalDijkstra}) {
+    TravelCostOptions options;
+    options.backend = backend;
+    TravelCostEngine engine(net, options);
+    for (NodeId t : {NodeId{5}, NodeId{40}, NodeId{80}}) {
+      EXPECT_NEAR(engine.Cost(0, t), ref[static_cast<size_t>(t)], 1e-6);
+    }
+    uint64_t misses = engine.num_queries();
+    EXPECT_EQ(misses, 3u);
+    // Re-asking the same pairs must be pure cache hits.
+    for (NodeId t : {NodeId{5}, NodeId{40}, NodeId{80}}) {
+      EXPECT_NEAR(engine.Cost(0, t), ref[static_cast<size_t>(t)], 1e-6);
+    }
+    EXPECT_EQ(engine.num_queries(), misses);
+    EXPECT_GT(engine.CacheHitRate(), 0.0);
+  }
+}
+
+TEST(RoadnetTest, SelfCostIsZeroAndFree) {
+  TravelCostEngine engine(Net());
+  uint64_t before = engine.num_queries();
+  EXPECT_DOUBLE_EQ(engine.Cost(7, 7), 0);
+  EXPECT_EQ(engine.num_queries(), before);
+}
+
+}  // namespace
+}  // namespace structride

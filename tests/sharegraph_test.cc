@@ -1,0 +1,152 @@
+// ShareGraph structure operations, and the load-bearing property of the
+// angle pruning: it must never drop a feasible share pair — the pruned and
+// unpruned builders must produce identical graphs (the pruning only saves
+// shortest-path queries).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "roadnet/generator.h"
+#include "sharegraph/analysis.h"
+#include "sharegraph/builder.h"
+#include "sharegraph/loss.h"
+#include "sim/workload.h"
+
+namespace structride {
+namespace {
+
+TEST(ShareGraphTest, BasicOperations) {
+  ShareGraph g;
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);  // duplicate ignored
+  g.AddEdge(2, 2);  // self-loop ignored
+  g.AddEdge(2, 3);  // implicit node
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_EQ(g.Degree(2), 2u);
+  g.RemoveNode(2);
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.Degree(1), 0u);
+}
+
+TEST(ShareGraphTest, SupernodeKeepsCommonNeighbors) {
+  // 1-2 share neighbors {3}, while 4 neighbors only 1.
+  ShareGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 4);
+  EXPECT_DOUBLE_EQ(ShareabilityLoss(g, {1, 2}), 1.0);  // loses 4, keeps 3
+  g.SubstituteSupernode({1, 2}, 100);
+  EXPECT_TRUE(g.HasNode(100));
+  EXPECT_FALSE(g.HasNode(1));
+  EXPECT_FALSE(g.HasNode(2));
+  EXPECT_TRUE(g.HasEdge(100, 3));
+  EXPECT_FALSE(g.HasEdge(100, 4));
+}
+
+TEST(ShareGraphTest, AnalysisOnKnownGraph) {
+  // A triangle plus a pendant and an isolated node.
+  ShareGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.AddNode(9);
+  StructureReport report = AnalyzeStructure(g, 3);
+  EXPECT_EQ(report.degrees.num_nodes, 5u);
+  EXPECT_EQ(report.degrees.num_edges, 4u);
+  EXPECT_EQ(report.degeneracy, 2);
+  EXPECT_EQ(report.max_clique, 3u);
+  EXPECT_EQ(report.num_components, 2u);
+  // Partition: {0,1,2} triangle, {3}, {9} at capacity 3.
+  EXPECT_EQ(report.greedy_partition_cliques, 3u);
+  EXPECT_GE(report.partition_upper_bound, report.greedy_partition_cliques - 1);
+  auto cliques = GreedyCliquePartition(g, 3);
+  size_t covered = 0;
+  for (const auto& clique : cliques) {
+    covered += clique.size();
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        EXPECT_TRUE(g.HasEdge(clique[i], clique[j]));
+      }
+    }
+  }
+  EXPECT_EQ(covered, g.NumNodes());
+}
+
+TEST(ShareGraphBuilderTest, AnglePruningNeverDropsAFeasiblePair) {
+  CityOptions copt;
+  copt.rows = 15;
+  copt.cols = 15;
+  copt.seed = 21;
+  RoadNetwork net = GenerateGridCity(copt);
+  TravelCostEngine engine(net);
+  DeadlinePolicy policy;
+  policy.gamma = 1.5;
+  WorkloadOptions wopts;
+  wopts.num_requests = 90;
+  wopts.duration = 120;
+  wopts.seed = 4;
+  auto requests = GenerateWorkload(net, &engine, policy, wopts);
+
+  ShareGraphBuilderOptions plain;
+  plain.use_angle_pruning = false;
+  ShareGraphBuilder unpruned(&engine, plain);
+  unpruned.AddBatch(requests);
+
+  ShareGraphBuilderOptions pruned_opts;
+  pruned_opts.use_angle_pruning = true;
+  ShareGraphBuilder pruned(&engine, pruned_opts);
+  pruned.AddBatch(requests);
+
+  // The screen must have fired (otherwise this test checks nothing)...
+  EXPECT_GT(pruned.pruned_pairs(), 0u);
+  // ...and the graphs must still be identical.
+  ASSERT_EQ(unpruned.graph().NumNodes(), pruned.graph().NumNodes());
+  EXPECT_EQ(unpruned.graph().NumEdges(), pruned.graph().NumEdges());
+  for (RequestId v : unpruned.graph().Nodes()) {
+    auto a = unpruned.graph().Neighbors(v);
+    auto b = pruned.graph().Neighbors(v);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "neighborhood mismatch at request " << v;
+  }
+}
+
+TEST(ShareGraphBuilderTest, IncrementalAddBatchMatchesOneShot) {
+  CityOptions copt;
+  copt.rows = 10;
+  copt.cols = 10;
+  copt.seed = 31;
+  RoadNetwork net = GenerateGridCity(copt);
+  TravelCostEngine engine(net);
+  DeadlinePolicy policy;
+  WorkloadOptions wopts;
+  wopts.num_requests = 60;
+  wopts.duration = 90;
+  wopts.seed = 8;
+  auto requests = GenerateWorkload(net, &engine, policy, wopts);
+
+  ShareGraphBuilderOptions opts;
+  ShareGraphBuilder one_shot(&engine, opts);
+  one_shot.AddBatch(requests);
+
+  ShareGraphBuilder incremental(&engine, opts);
+  std::vector<Request> first(requests.begin(), requests.begin() + 40);
+  std::vector<Request> second(requests.begin() + 40, requests.end());
+  incremental.AddBatch(first);
+  incremental.AddBatch(second);
+
+  EXPECT_EQ(one_shot.graph().NumEdges(), incremental.graph().NumEdges());
+}
+
+}  // namespace
+}  // namespace structride

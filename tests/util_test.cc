@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "geo/angle.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace structride {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntStaysInClosedRange) {
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 11);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  double lo = 1, hi = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.Uniform(0, 1);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(RunningStatTest, MeanAndStdDev) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_EQ(stat.Count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.Mean(), 5.0);
+  EXPECT_NEAR(stat.StdDev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stat.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.Max(), 9.0);
+}
+
+TEST(AngleTest, OrthogonalAndParallel) {
+  EXPECT_NEAR(AngleBetween({1, 0}, {0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(AngleBetween({1, 0}, {2, 0}), 0, 1e-12);
+  EXPECT_NEAR(AngleBetween({1, 0}, {-3, 0}), kPi, 1e-12);
+  // Degenerate vectors never report a wide angle.
+  EXPECT_DOUBLE_EQ(AngleBetween({0, 0}, {1, 1}), 0);
+}
+
+}  // namespace
+}  // namespace structride

@@ -1,0 +1,112 @@
+// Workload generation: deterministic per seed, release-sorted, and with
+// deadline bookkeeping that matches the gamma policy exactly.
+
+#include <gtest/gtest.h>
+
+#include "roadnet/generator.h"
+#include "sim/datasets.h"
+#include "sim/workload.h"
+
+namespace structride {
+namespace {
+
+struct WorkloadFixture : public ::testing::Test {
+  WorkloadFixture() {
+    CityOptions opt;
+    opt.rows = 12;
+    opt.cols = 12;
+    opt.seed = 3;
+    net = GenerateGridCity(opt);
+    engine = std::make_unique<TravelCostEngine>(net);
+  }
+  RoadNetwork net;
+  std::unique_ptr<TravelCostEngine> engine;
+};
+
+TEST_F(WorkloadFixture, SameSeedIdenticalStream) {
+  DeadlinePolicy policy;
+  WorkloadOptions opts;
+  opts.num_requests = 150;
+  opts.duration = 300;
+  opts.seed = 77;
+  auto a = GenerateWorkload(net, engine.get(), policy, opts);
+  auto b = GenerateWorkload(net, engine.get(), policy, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].destination, b[i].destination);
+    EXPECT_DOUBLE_EQ(a[i].release_time, b[i].release_time);
+    EXPECT_DOUBLE_EQ(a[i].direct_cost, b[i].direct_cost);
+    EXPECT_DOUBLE_EQ(a[i].deadline, b[i].deadline);
+  }
+}
+
+TEST_F(WorkloadFixture, DifferentSeedDifferentStream) {
+  DeadlinePolicy policy;
+  WorkloadOptions opts;
+  opts.num_requests = 50;
+  opts.duration = 300;
+  opts.seed = 1;
+  auto a = GenerateWorkload(net, engine.get(), policy, opts);
+  opts.seed = 2;
+  auto b = GenerateWorkload(net, engine.get(), policy, opts);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].source != b[i].source || a[i].release_time != b[i].release_time) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(WorkloadFixture, SortedIdsAndDeadlinePolicy) {
+  DeadlinePolicy policy;
+  policy.gamma = 1.7;
+  WorkloadOptions opts;
+  opts.num_requests = 120;
+  opts.duration = 240;
+  opts.seed = 9;
+  auto stream = GenerateWorkload(net, engine.get(), policy, opts);
+  ASSERT_EQ(stream.size(), 120u);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Request& r = stream[i];
+    EXPECT_EQ(r.id, static_cast<RequestId>(i));
+    if (i > 0) {
+      EXPECT_GE(r.release_time, stream[i - 1].release_time);
+    }
+    EXPECT_GE(r.release_time, 0);
+    EXPECT_LT(r.release_time, opts.duration);
+    EXPECT_GT(r.direct_cost, 0);
+    EXPECT_NEAR(r.deadline, r.release_time + policy.gamma * r.direct_cost,
+                1e-9);
+    EXPECT_NEAR(r.latest_pickup, r.deadline - r.direct_cost, 1e-9);
+    // Direct cost is a real shortest path, so it dominates the euclid bound.
+    EXPECT_GE(r.direct_cost,
+              net.EuclidLowerBound(r.source, r.destination) - 1e-9);
+  }
+}
+
+TEST(DatasetTest, ScaleAppliedExactlyOnce) {
+  DatasetSpec full = DatasetByName("CHD", 1.0);
+  DatasetSpec half = DatasetByName("CHD", 0.5);
+  EXPECT_EQ(half.workload.num_requests, full.workload.num_requests / 2);
+  EXPECT_EQ(half.num_vehicles, full.num_vehicles / 2);
+  EXPECT_DOUBLE_EQ(half.workload.duration, full.workload.duration * 0.5);
+  // Network size is a property of the city, not of the scale.
+  EXPECT_EQ(half.city.rows, full.city.rows);
+  EXPECT_EQ(half.city.cols, full.city.cols);
+}
+
+TEST(DatasetTest, AllPresetsBuild) {
+  for (const char* name : {"CHD", "NYC", "Cainiao"}) {
+    DatasetSpec spec = DatasetByName(name, 0.05);
+    RoadNetwork net = BuildNetwork(&spec);
+    EXPECT_GT(net.num_nodes(), 0u);
+    EXPECT_GT(spec.num_vehicles, 0);
+    EXPECT_GT(spec.workload.num_requests, 0);
+  }
+}
+
+}  // namespace
+}  // namespace structride

@@ -1,0 +1,43 @@
+// Minimal check/log macros for the structride library. SR_CHECK aborts with
+// file:line context on failure; it is always on (benches and dispatch code
+// use it to guard invariants that must hold even in Release builds).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace structride {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "[structride] CHECK failed: %s at %s:%d\n", expr, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace structride
+
+#define SR_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::structride::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                                 \
+  } while (0)
+
+#define SR_CHECK_GE(a, b) SR_CHECK((a) >= (b))
+#define SR_CHECK_LE(a, b) SR_CHECK((a) <= (b))
+#define SR_CHECK_LT(a, b) SR_CHECK((a) < (b))
+#define SR_CHECK_EQ(a, b) SR_CHECK((a) == (b))
+
+// Lightweight stderr logging; keep it printf-style so benches stay free of
+// iostream static-init overhead.
+#define SR_LOG(...)                        \
+  do {                                     \
+    std::fprintf(stderr, "[structride] "); \
+    std::fprintf(stderr, __VA_ARGS__);     \
+    std::fprintf(stderr, "\n");            \
+  } while (0)

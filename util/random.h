@@ -1,0 +1,57 @@
+// Seeded RNG used everywhere determinism matters (workload generation,
+// fleet spawning, fault models). A thin wrapper over a fixed-algorithm
+// generator so streams are reproducible across platforms and stdlib
+// versions, unlike std::default_random_engine / std::uniform_*distribution.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace structride {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  // splitmix64: tiny, fast, and fully specified.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    double u = static_cast<double>(Next() >> 11) * 0x1.0p-53;  // [0,1)
+    return lo + u * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, two draws per call).
+  double Gaussian(double mean, double stddev) {
+    double u1 = Uniform(1e-12, 1.0);
+    double u2 = Uniform(0.0, 1.0);
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kTwoPi_ * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with the given mean.
+  double Exponential(double mean) {
+    double u = Uniform(1e-12, 1.0);
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr double kTwoPi_ = 3.14159265358979323846;
+  uint64_t state_;
+};
+
+}  // namespace structride

@@ -1,0 +1,39 @@
+// Streaming mean/variance accumulator (Welford) used by the ablation
+// benches to fit trip-cost distributions without buffering samples.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace structride {
+
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  size_t Count() const { return count_; }
+  double Mean() const { return mean_; }
+  double Variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace structride
