@@ -25,21 +25,21 @@ class PruneGdpDispatcher : public Dispatcher {
   using Dispatcher::Dispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
+    if (ctx->pending.empty()) return;  // drain phase: don't build the index
     std::vector<Vehicle>& fleet = *ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
+    dispatch::CandidateScanner scanner(fleet, net, config_.use_spatial_index);
     for (const Request* r : ctx->pending) {
       double best = kInf;
       size_t best_vehicle = 0;
       Schedule best_schedule;
-      for (size_t vi : dispatch::VehiclesByDistance(fleet, net, r->source)) {
+      // Reachability prune: only vehicles whose straight-line distance still
+      // makes the pickup deadline can serve the request, and vehicle
+      // positions are fixed within a batch, so the radius query visits
+      // exactly the prefix the sorted full-fleet scan used to.
+      double reach = r->latest_pickup - ctx->now;
+      for (size_t vi : scanner.NearestWithin(r->source, fleet.size(), reach)) {
         Vehicle& v = fleet[vi];
-        // Reachability prune: the scan is sorted by straight-line distance,
-        // so once even the straight line misses the pickup deadline every
-        // later vehicle misses it too.
-        if (ctx->now + net.EuclidLowerBound(v.node(), r->source) >
-            r->latest_pickup) {
-          break;
-        }
         InsertionCandidate cand =
             BestInsertion(v.route_state(ctx->now), v.schedule(), *r,
                           ctx->engine);
@@ -57,7 +57,7 @@ class PruneGdpDispatcher : public Dispatcher {
         ctx->rejected.push_back(r->id);  // online: no second chance
       }
     }
-    NotePeak(fleet.size() * sizeof(double) +
+    NotePeak(fleet.size() * sizeof(double) + scanner.MemoryBytes() +
              ctx->pending.size() * sizeof(Request*));
   }
 };
@@ -68,13 +68,13 @@ class TicketAssignDispatcher : public Dispatcher {
 
   void OnBatch(DispatchContext* ctx) override {
     constexpr size_t kScanLimit = 16;
+    if (ctx->pending.empty()) return;  // drain phase: don't build the index
     std::vector<Vehicle>& fleet = *ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
+    dispatch::CandidateScanner scanner(fleet, net, config_.use_spatial_index);
     for (const Request* r : ctx->pending) {
       bool placed = false;
-      size_t scanned = 0;
-      for (size_t vi : dispatch::VehiclesByDistance(fleet, net, r->source)) {
-        if (++scanned > kScanLimit) break;
+      for (size_t vi : scanner.Nearest(r->source, kScanLimit)) {
         Vehicle& v = fleet[vi];
         InsertionCandidate cand =
             BestInsertion(v.route_state(ctx->now), v.schedule(), *r,
@@ -89,7 +89,7 @@ class TicketAssignDispatcher : public Dispatcher {
       }
       if (!placed) ctx->rejected.push_back(r->id);
     }
-    NotePeak(kScanLimit * sizeof(size_t) +
+    NotePeak(kScanLimit * sizeof(size_t) + scanner.MemoryBytes() +
              ctx->pending.size() * sizeof(Request*));
   }
 };
@@ -104,15 +104,15 @@ class DarmDprsDispatcher : public Dispatcher {
     constexpr size_t kScanLimit = 16;
     constexpr double kCheapRatio = 0.6;   // delta <= 60% of the direct cost
     constexpr double kUrgentSlack = 60;   // seconds of pickup slack
+    if (ctx->pending.empty()) return;  // drain phase: don't build the index
     std::vector<Vehicle>& fleet = *ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
+    dispatch::CandidateScanner scanner(fleet, net, config_.use_spatial_index);
     for (const Request* r : ctx->pending) {
       double best = kInf;
       size_t best_vehicle = 0;
       Schedule best_schedule;
-      size_t scanned = 0;
-      for (size_t vi : dispatch::VehiclesByDistance(fleet, net, r->source)) {
-        if (++scanned > kScanLimit) break;
+      for (size_t vi : scanner.Nearest(r->source, kScanLimit)) {
         Vehicle& v = fleet[vi];
         InsertionCandidate cand =
             BestInsertion(v.route_state(ctx->now), v.schedule(), *r,
@@ -133,7 +133,7 @@ class DarmDprsDispatcher : public Dispatcher {
       }
     }
     NotePeak(ctx->pending.size() * (sizeof(Request*) + sizeof(double)) +
-             kScanLimit * sizeof(size_t));
+             scanner.MemoryBytes() + kScanLimit * sizeof(size_t));
   }
 };
 

@@ -21,6 +21,36 @@ std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
   return order;
 }
 
+CandidateScanner::CandidateScanner(const std::vector<Vehicle>& fleet,
+                                   const RoadNetwork& net, bool use_index)
+    : fleet_(&fleet), net_(&net) {
+  if (use_index) index_ = std::make_unique<FleetSpatialIndex>(fleet, net);
+}
+
+std::vector<size_t> CandidateScanner::Nearest(NodeId from, size_t k) const {
+  if (index_) return index_->KNearest(from, k);
+  std::vector<size_t> order = VehiclesByDistance(*fleet_, *net_, from);
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+std::vector<size_t> CandidateScanner::NearestWithin(NodeId from, size_t k,
+                                                    double max_dist) const {
+  if (index_) return index_->KNearestWithin(from, k, max_dist);
+  std::vector<size_t> order = VehiclesByDistance(*fleet_, *net_, from);
+  std::vector<size_t> out;
+  for (size_t vi : order) {
+    if (out.size() >= k) break;
+    if (net_->EuclidLowerBound((*fleet_)[vi].node(), from) > max_dist) break;
+    out.push_back(vi);
+  }
+  return out;
+}
+
+size_t CandidateScanner::MemoryBytes() const {
+  return index_ ? index_->MemoryBytes() : 0;
+}
+
 GroupInsertion InsertGroupSequential(const RouteState& state,
                                      const Schedule& committed,
                                      const std::vector<const Request*>& members,

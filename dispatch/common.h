@@ -2,18 +2,47 @@
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/insertion.h"
 #include "core/vehicle.h"
+#include "dispatch/spatial_index.h"
 
 namespace structride {
 namespace dispatch {
 
 /// Fleet indices sorted by straight-line distance from \p from (ties by
-/// vehicle index, so orderings are deterministic).
+/// vehicle index, so orderings are deterministic). The legacy full-fleet
+/// scan: O(F log F) per call. Kept as the spatial index's ground truth and
+/// as the serial baseline behind `DispatchConfig::use_spatial_index=false`.
 std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
                                        const RoadNetwork& net, NodeId from);
+
+/// Per-batch nearest-candidate scanner. Built once per batch from the
+/// batch-start fleet positions; answers from the grid-bucket index when
+/// enabled, or from the legacy full sort when not. Both paths return the
+/// identical (distance, index)-ordered prefix, so the knob only moves time.
+class CandidateScanner {
+ public:
+  CandidateScanner(const std::vector<Vehicle>& fleet, const RoadNetwork& net,
+                   bool use_index);
+
+  /// The k nearest fleet indices to \p from.
+  std::vector<size_t> Nearest(NodeId from, size_t k) const;
+
+  /// Fleet indices with straight-line distance <= \p max_dist, nearest
+  /// first, capped at \p k.
+  std::vector<size_t> NearestWithin(NodeId from, size_t k,
+                                    double max_dist) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  const std::vector<Vehicle>* fleet_;
+  const RoadNetwork* net_;
+  std::unique_ptr<FleetSpatialIndex> index_;  ///< null on the legacy path
+};
 
 struct GroupInsertion {
   bool feasible = false;

@@ -17,6 +17,8 @@
 
 namespace structride {
 
+class ThreadPool;
+
 struct DispatchConfig {
   double penalty_coefficient = 10;
   int vehicle_capacity = 4;
@@ -31,12 +33,26 @@ struct DispatchConfig {
   /// SARD: the literal Alg.-3 reading (propose to the vehicle needing the
   /// most additional travel first) instead of the best-first default.
   bool sard_propose_worst_first = false;
+  /// SARD: when every proposal of a group is rejected, retry its halves
+  /// (recursively, down to singletons) before leaving the whole group
+  /// pending — otherwise the clique partition re-forms the identical group
+  /// next batch and its members starve until they expire (DESIGN.md §4).
+  bool sard_split_rejected_groups = true;
+  /// Answer nearest-candidate scans from a per-batch grid-bucket fleet index
+  /// instead of a full O(F log F) distance sort per scan. Outcome-identical
+  /// by construction; `false` restores the legacy scan (the serial baseline
+  /// `abl_parallel_scaling` measures against).
+  bool use_spatial_index = true;
 };
 
 struct DispatchContext {
   double now = 0;
   TravelCostEngine* engine = nullptr;
   std::vector<Vehicle>* fleet = nullptr;
+  /// Worker pool owned by the caller (the simulation engine keeps one per
+  /// run); dispatchers that parallelize use it instead of spawning threads
+  /// per batch. Null means no pool — dispatchers fall back to a private one.
+  ThreadPool* pool = nullptr;
   /// Open requests in release order.
   std::vector<const Request*> pending;
   /// Outputs: requests assigned this round; requests the dispatcher gives up

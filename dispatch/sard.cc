@@ -7,18 +7,23 @@
 // shareability order (Sec. IV-A) and the first accepting vehicle commits.
 //
 // The acceptance evaluation is a pure read of the batch-start fleet state,
-// which is what makes the parallel variant exact: worker threads only price
-// proposals; commits happen serially in deterministic group order with
-// re-validation, so thread count never changes the result.
+// which is what makes the parallel variant exact: worker threads (a pool
+// reused across batches) only price proposals; commits happen serially in
+// deterministic group order with re-validation, so thread count never
+// changes the result. Groups every vehicle rejects are retried as halves
+// down to singletons (DispatchConfig::sard_split_rejected_groups), because
+// the clique partition would otherwise re-form the identical group next
+// batch and starve its members.
 
 #include <algorithm>
-#include <thread>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "dispatch/common.h"
 #include "dispatch/dispatcher.h"
 #include "sharegraph/analysis.h"
+#include "util/thread_pool.h"
 
 namespace structride {
 namespace {
@@ -32,10 +37,12 @@ class SardDispatcher : public Dispatcher {
     std::vector<Vehicle>& fleet = *ctx->fleet;
     if (ctx->pending.empty()) return;
 
+    ThreadPool* pool = WorkerPool(ctx);
     if (!builder_) {
       builder_ = std::make_unique<ShareGraphBuilder>(ctx->engine,
                                                      config_.sharegraph);
     }
+    builder_->set_pool(pool);
     // Closed requests (assigned, expired, cancelled) leave the persistent
     // graph before the new batch folds in, so the graph tracks the open set.
     std::vector<RequestId> open_ids;
@@ -78,26 +85,27 @@ class SardDispatcher : public Dispatcher {
       for (RequestId id : ids) group_members[gi].push_back(by_id[id]);
     }
 
+    // One fleet index per batch; every nearest-candidate scan below answers
+    // from it (or from the legacy full sort when the knob is off).
+    dispatch::CandidateScanner scanner(fleet, ctx->engine->network(),
+                                       config_.use_spatial_index);
+
     // Proposal pricing (phase A; pure, parallelizable): for each group, the
     // feasible nearby vehicles ordered by the configured proposal policy.
     struct Proposal {
       double delta = 0;
       size_t vehicle = 0;
     };
-    std::vector<std::vector<Proposal>> proposals(groups.size());
-    auto price_group = [&](size_t gi) {
-      const std::vector<const Request*>& members = group_members[gi];
+    auto price_group = [&](const std::vector<const Request*>& members) {
+      std::vector<Proposal> props;
       NodeId anchor = members.front()->source;
-      size_t scanned = 0;
-      for (size_t vi : dispatch::VehiclesByDistance(fleet, ctx->engine->network(),
-                                                    anchor)) {
-        if (++scanned > kCandidateVehicles) break;
+      for (size_t vi : scanner.Nearest(anchor, kCandidateVehicles)) {
         dispatch::GroupInsertion ins = dispatch::InsertGroupSequential(
             fleet[vi].route_state(ctx->now), fleet[vi].schedule(), members,
             ctx->engine);
-        if (ins.feasible) proposals[gi].push_back({ins.delta_cost, vi});
+        if (ins.feasible) props.push_back({ins.delta_cost, vi});
       }
-      std::stable_sort(proposals[gi].begin(), proposals[gi].end(),
+      std::stable_sort(props.begin(), props.end(),
                        [&](const Proposal& a, const Proposal& b) {
                          if (a.delta != b.delta) {
                            return config_.sard_propose_worst_first
@@ -106,43 +114,56 @@ class SardDispatcher : public Dispatcher {
                          }
                          return a.vehicle < b.vehicle;
                        });
+      return props;
     };
 
-    int threads = config_.sard_parallel_acceptance
-                      ? std::max(1, config_.num_threads)
-                      : 1;
-    if (threads > 1 && groups.size() > 1) {
-      std::vector<std::thread> workers;
-      workers.reserve(static_cast<size_t>(threads));
-      for (int w = 0; w < threads; ++w) {
-        workers.emplace_back([&, w] {
-          for (size_t gi = static_cast<size_t>(w); gi < groups.size();
-               gi += static_cast<size_t>(threads)) {
-            price_group(gi);
-          }
-        });
-      }
-      for (std::thread& t : workers) t.join();
+    std::vector<std::vector<Proposal>> proposals(groups.size());
+    auto price_task = [&](size_t gi) {
+      proposals[gi] = price_group(group_members[gi]);
+    };
+    if (pool && groups.size() > 1) {
+      pool->ParallelFor(groups.size(), price_task);
     } else {
-      for (size_t gi = 0; gi < groups.size(); ++gi) price_group(gi);
+      for (size_t gi = 0; gi < groups.size(); ++gi) price_task(gi);
     }
 
     // Acceptance commits (phase B; serial, deterministic group order). A
     // vehicle's schedule may have grown since pricing, so each proposal is
-    // re-validated before committing.
+    // re-validated before committing. A group nobody accepts retries as
+    // halves (recursively, down to singletons): the split subgroups are
+    // priced on the spot against the current fleet state.
+    std::function<void(const std::vector<const Request*>&,
+                       const std::vector<Proposal>*)>
+        assign = [&](const std::vector<const Request*>& members,
+                     const std::vector<Proposal>* priced) {
+          std::vector<Proposal> local;
+          if (priced == nullptr) {
+            local = price_group(members);
+            priced = &local;
+          }
+          for (const Proposal& p : *priced) {
+            Vehicle& v = fleet[p.vehicle];
+            dispatch::GroupInsertion ins = dispatch::InsertGroupSequential(
+                v.route_state(ctx->now), v.schedule(), members, ctx->engine);
+            if (!ins.feasible) continue;
+            if (!v.CommitSchedule(ins.schedule, ctx->now, ctx->engine)) {
+              continue;
+            }
+            for (const Request* r : members) ctx->assigned.push_back(r->id);
+            return;
+          }
+          if (members.size() <= 1 || !config_.sard_split_rejected_groups) {
+            return;
+          }
+          auto mid = members.begin() +
+                     static_cast<ptrdiff_t>(members.size() / 2);
+          std::vector<const Request*> lo(members.begin(), mid);
+          std::vector<const Request*> hi(mid, members.end());
+          assign(lo, nullptr);
+          assign(hi, nullptr);
+        };
     for (size_t gi = 0; gi < groups.size(); ++gi) {
-      for (const Proposal& p : proposals[gi]) {
-        Vehicle& v = fleet[p.vehicle];
-        dispatch::GroupInsertion ins = dispatch::InsertGroupSequential(
-            v.route_state(ctx->now), v.schedule(), group_members[gi],
-            ctx->engine);
-        if (!ins.feasible) continue;
-        if (!v.CommitSchedule(ins.schedule, ctx->now, ctx->engine)) continue;
-        for (const Request* r : group_members[gi]) {
-          ctx->assigned.push_back(r->id);
-        }
-        break;
-      }
+      assign(group_members[gi], &proposals[gi]);
     }
 
     size_t proposal_bytes = 0;
@@ -150,11 +171,25 @@ class SardDispatcher : public Dispatcher {
       proposal_bytes += plist.size() * sizeof(Proposal);
     }
     NotePeak(builder_->MemoryBytes() + open.MemoryBytes() + proposal_bytes +
+             scanner.MemoryBytes() +
              groups.size() * sizeof(std::vector<RequestId>));
   }
 
  private:
+  // The caller's per-run pool when provided; otherwise a private pool built
+  // once and reused for every batch (never fresh threads per batch).
+  ThreadPool* WorkerPool(DispatchContext* ctx) {
+    int threads = config_.sard_parallel_acceptance
+                      ? std::max(1, config_.num_threads)
+                      : 1;
+    if (threads <= 1) return nullptr;
+    if (ctx->pool) return ctx->pool;
+    if (!own_pool_) own_pool_ = std::make_unique<ThreadPool>(threads);
+    return own_pool_.get();
+  }
+
   std::unique_ptr<ShareGraphBuilder> builder_;
+  std::unique_ptr<ThreadPool> own_pool_;
 };
 
 }  // namespace

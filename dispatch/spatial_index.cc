@@ -1,0 +1,171 @@
+#include "dispatch/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace structride {
+namespace dispatch {
+
+namespace {
+
+// Distance from a point to the complement of an axis-aligned rectangle:
+// how far any point strictly outside [x0,x1]x[y0,y1] must be from q. Zero
+// when q itself lies outside the rectangle.
+double OutsideDistance(const Point& q, double x0, double y0, double x1,
+                       double y1) {
+  if (q.x < x0 || q.x > x1 || q.y < y0 || q.y > y1) return 0;
+  return std::min(std::min(q.x - x0, x1 - q.x),
+                  std::min(q.y - y0, y1 - q.y));
+}
+
+// Distance from a point to an axis-aligned rectangle (zero inside).
+double BoxDistance(const Point& q, double x0, double y0, double x1,
+                   double y1) {
+  double dx = q.x < x0 ? x0 - q.x : (q.x > x1 ? q.x - x1 : 0);
+  double dy = q.y < y0 ? y0 - q.y : (q.y > y1 ? q.y - y1 : 0);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+FleetSpatialIndex::FleetSpatialIndex(const std::vector<Vehicle>& fleet,
+                                     const RoadNetwork& net)
+    : net_(&net) {
+  positions_.reserve(fleet.size());
+  for (const Vehicle& v : fleet) positions_.push_back(net.position(v.node()));
+  if (positions_.empty()) {
+    buckets_.resize(1);
+    return;
+  }
+  double max_x = positions_[0].x, max_y = positions_[0].y;
+  min_x_ = positions_[0].x;
+  min_y_ = positions_[0].y;
+  for (const Point& p : positions_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  // ~1 vehicle per cell: rings around a query cell then hold a handful of
+  // candidates each, so KNearest(16) touches tens of vehicles, not the fleet.
+  int side = static_cast<int>(std::ceil(
+      std::sqrt(static_cast<double>(positions_.size()))));
+  cols_ = rows_ = std::max(1, side);
+  cell_w_ = std::max((max_x - min_x_) / cols_, 1e-9);
+  cell_h_ = std::max((max_y - min_y_) / rows_, 1e-9);
+  buckets_.resize(static_cast<size_t>(cols_) * static_cast<size_t>(rows_));
+  // Fleet order insertion keeps every bucket ascending by vehicle index.
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    int cx = std::min(cols_ - 1,
+                      std::max(0, static_cast<int>((positions_[i].x - min_x_) /
+                                                   cell_w_)));
+    int cy = std::min(rows_ - 1,
+                      std::max(0, static_cast<int>((positions_[i].y - min_y_) /
+                                                   cell_h_)));
+    buckets_[static_cast<size_t>(cy) * static_cast<size_t>(cols_) +
+             static_cast<size_t>(cx)]
+        .push_back(i);
+  }
+}
+
+std::vector<size_t> FleetSpatialIndex::Query(NodeId from, size_t k,
+                                             double max_dist) const {
+  std::vector<size_t> out;
+  if (k == 0 || positions_.empty()) return out;
+  const Point q = net_->position(from);
+
+  // Dense ask: k covers most of the fleet, so walking every grid cell with
+  // per-candidate bound upkeep cannot beat one flat scan + sort (this is
+  // pruneGDP's radius query with k = fleet size).
+  if (2 * k >= positions_.size()) {
+    std::vector<std::pair<double, size_t>> cand;
+    cand.reserve(positions_.size());
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      double d = EuclidDistance(q, positions_[i]);
+      if (max_dist >= 0 && d > max_dist) continue;
+      cand.emplace_back(d, i);
+    }
+    // Lexicographic pair order reproduces the full sort's distance-then-
+    // index tie break exactly.
+    std::sort(cand.begin(), cand.end());
+    if (cand.size() > k) cand.resize(k);
+    out.reserve(cand.size());
+    for (const auto& c : cand) out.push_back(c.second);
+    return out;
+  }
+
+  const int qcx = std::min(
+      cols_ - 1,
+      std::max(0, static_cast<int>((q.x - min_x_) / cell_w_)));
+  const int qcy = std::min(
+      rows_ - 1,
+      std::max(0, static_cast<int>((q.y - min_y_) / cell_h_)));
+
+  // Sorted best-k array of (distance, index) pairs; k is small on this
+  // path, so ordered insertion is a short memmove — cheaper than heap
+  // churn, and already in final order.
+  std::vector<std::pair<double, size_t>> best;
+  best.reserve(k + 1);
+  auto bound = [&]() {
+    return best.size() == k ? best.back().first
+                            : std::numeric_limits<double>::infinity();
+  };
+  auto scan_cell = [&](int cx, int cy) {
+    // Cell-level prune: nothing inside the cell's rectangle can beat the
+    // current kth-best.
+    if (best.size() == k) {
+      double cell_lb = BoxDistance(q, min_x_ + cx * cell_w_,
+                                   min_y_ + cy * cell_h_,
+                                   min_x_ + (cx + 1) * cell_w_,
+                                   min_y_ + (cy + 1) * cell_h_);
+      if (cell_lb > best.back().first) return;
+    }
+    for (size_t i : Bucket(cx, cy)) {
+      double d = EuclidDistance(q, positions_[i]);
+      if (max_dist >= 0 && d > max_dist) continue;
+      std::pair<double, size_t> cand{d, i};
+      if (best.size() == k && !(cand < best.back())) continue;
+      best.insert(std::upper_bound(best.begin(), best.end(), cand), cand);
+      if (best.size() > k) best.pop_back();
+    }
+  };
+
+  const int max_ring = std::max(cols_, rows_);
+  for (int r = 0; r <= max_ring; ++r) {
+    // Lower bound on the distance from q to any cell outside the already
+    // scanned (2r-1)-block: once it exceeds both the kth-best distance and
+    // the radius cap, no unscanned vehicle can make the result (ties at the
+    // bound keep expanding, so the index-ascending tie break stays exact).
+    if (r > 0) {
+      double lb = OutsideDistance(q, min_x_ + (qcx - (r - 1)) * cell_w_,
+                                  min_y_ + (qcy - (r - 1)) * cell_h_,
+                                  min_x_ + (qcx + r) * cell_w_,
+                                  min_y_ + (qcy + r) * cell_h_);
+      bool past_k = best.size() == k && lb > bound();
+      bool past_radius = max_dist >= 0 && lb > max_dist;
+      if (past_k || past_radius) break;
+    }
+    const int x0 = qcx - r, x1 = qcx + r, y0 = qcy - r, y1 = qcy + r;
+    for (int cy = std::max(0, y0); cy <= std::min(rows_ - 1, y1); ++cy) {
+      bool edge_row = cy == y0 || cy == y1;
+      for (int cx = std::max(0, x0); cx <= std::min(cols_ - 1, x1); ++cx) {
+        if (!edge_row && cx != x0 && cx != x1) continue;  // perimeter only
+        scan_cell(cx, cy);
+      }
+    }
+  }
+
+  out.reserve(best.size());
+  for (const auto& c : best) out.push_back(c.second);
+  return out;
+}
+
+size_t FleetSpatialIndex::MemoryBytes() const {
+  size_t bytes = positions_.size() * (sizeof(Point) + sizeof(size_t));
+  bytes += buckets_.size() * sizeof(std::vector<size_t>);
+  return bytes;
+}
+
+}  // namespace dispatch
+}  // namespace structride

@@ -1,0 +1,59 @@
+// Grid-bucket spatial index over the fleet's current positions. Dispatchers
+// rebuild it once per batch (vehicle positions only change between batches;
+// committing a schedule does not move a vehicle) and answer every
+// nearest-candidate scan from it, replacing the O(F log F) full-fleet
+// distance sort that used to run once per group per batch.
+//
+// Exactness contract: KNearest(from, k) returns exactly the first k entries
+// of dispatch::VehiclesByDistance(fleet, net, from) — straight-line distance
+// ascending, vehicle index ascending on ties — so swapping the index in
+// changes running time, never dispatch outcomes.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vehicle.h"
+
+namespace structride {
+namespace dispatch {
+
+class FleetSpatialIndex {
+ public:
+  FleetSpatialIndex(const std::vector<Vehicle>& fleet, const RoadNetwork& net);
+
+  /// The k nearest fleet indices to \p from, ordered by (distance, index).
+  std::vector<size_t> KNearest(NodeId from, size_t k) const {
+    return Query(from, k, -1.0);
+  }
+
+  /// Every fleet index with straight-line distance <= \p max_dist, nearest
+  /// first, capped at \p k — the prefix an early-breaking scan over the
+  /// distance-sorted fleet would have visited. A negative radius matches
+  /// nothing (it is not the "unbounded" sentinel).
+  std::vector<size_t> KNearestWithin(NodeId from, size_t k,
+                                     double max_dist) const {
+    if (max_dist < 0) return {};
+    return Query(from, k, max_dist);
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<size_t> Query(NodeId from, size_t k, double max_dist) const;
+  const std::vector<size_t>& Bucket(int cx, int cy) const {
+    return buckets_[static_cast<size_t>(cy) * static_cast<size_t>(cols_) +
+                    static_cast<size_t>(cx)];
+  }
+
+  const RoadNetwork* net_;
+  std::vector<Point> positions_;  ///< per fleet index, batch-start position
+  double min_x_ = 0, min_y_ = 0;
+  double cell_w_ = 1, cell_h_ = 1;
+  int cols_ = 1, rows_ = 1;
+  std::vector<std::vector<size_t>> buckets_;  ///< ascending fleet indices
+};
+
+}  // namespace dispatch
+}  // namespace structride

@@ -1,5 +1,7 @@
 #include "roadnet/travel_cost.h"
 
+#include <algorithm>
+
 #include "roadnet/contraction_hierarchies.h"
 #include "roadnet/dijkstra.h"
 #include "roadnet/hub_labeling.h"
@@ -7,10 +9,26 @@
 namespace structride {
 
 namespace {
+
+// Canonical pair key: the network is undirected and every backend is
+// symmetric, so (s, t) and (t, s) must share one cache slot.
 inline uint64_t PairKey(NodeId s, NodeId t) {
-  return (static_cast<uint64_t>(static_cast<uint32_t>(s)) << 32) |
-         static_cast<uint32_t>(t);
+  NodeId lo = std::min(s, t), hi = std::max(s, t);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+         static_cast<uint32_t>(hi);
 }
+
+// Fibonacci-mix the key so consecutive node pairs spread across shards.
+inline uint64_t ShardHash(uint64_t key) {
+  return (key * 0x9e3779b97f4a7c15ull) >> 32;
+}
+
+inline size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 TravelCostEngine::TravelCostEngine(const RoadNetwork& net,
@@ -26,9 +44,22 @@ TravelCostEngine::TravelCostEngine(const RoadNetwork& net,
     case TravelCostOptions::Backend::kBidirectionalDijkstra:
       break;
   }
+  size_t num_shards = RoundUpPow2(std::max<size_t>(1, options_.cache_shards));
+  shard_mask_ = num_shards - 1;
+  size_t per_shard =
+      std::max<size_t>(1, options_.cache_capacity / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = per_shard;
+  }
 }
 
 TravelCostEngine::~TravelCostEngine() = default;
+
+TravelCostEngine::Shard& TravelCostEngine::ShardFor(uint64_t key) const {
+  return *shards_[ShardHash(key) & shard_mask_];
+}
 
 double TravelCostEngine::BackendCost(NodeId s, NodeId t) const {
   switch (options_.backend) {
@@ -45,30 +76,37 @@ double TravelCostEngine::BackendCost(NodeId s, NodeId t) const {
 double TravelCostEngine::Cost(NodeId s, NodeId t) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);
   if (s == t) return 0;
-  uint64_t key = PairKey(s, t);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return it->second->second;
+  const uint64_t key = PairKey(s, t);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    if (it->second != shard.lru.begin()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     }
+    return it->second->second;
   }
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  // Miss: compute while holding the shard lock. This serializes racing
+  // threads on the same cold pair (the loser sees a hit above), so a backend
+  // computation is counted exactly when its result is inserted.
   double cost = BackendCost(s, t);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-      lru_.emplace_front(key, cost);
-      cache_[key] = lru_.begin();
-      if (cache_.size() > options_.cache_capacity) {
-        cache_.erase(lru_.back().first);
-        lru_.pop_back();
-      }
-    }
+  shard.lru.emplace_front(key, cost);
+  shard.map[key] = shard.lru.begin();
+  ++shard.queries;
+  if (shard.map.size() > shard.capacity) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
   }
   return cost;
+}
+
+uint64_t TravelCostEngine::num_queries() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->queries;
+  }
+  return total;
 }
 
 double TravelCostEngine::CacheHitRate() const {
@@ -81,9 +119,12 @@ size_t TravelCostEngine::MemoryBytes() const {
   size_t bytes = 0;
   if (hub_labels_) bytes += hub_labels_->MemoryBytes();
   if (ch_) bytes += ch_->MemoryBytes();
-  std::lock_guard<std::mutex> lock(mutex_);
-  bytes += cache_.size() * (sizeof(uint64_t) * 2 + sizeof(double) +
-                            4 * sizeof(void*));
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    bytes += shard->map.size() * (sizeof(uint64_t) * 2 + sizeof(double) +
+                                  4 * sizeof(void*));
+    bytes += sizeof(Shard);
+  }
   return bytes;
 }
 

@@ -1,7 +1,20 @@
 // The travel-cost oracle every layer above roadnet/ programs against: a
 // point-to-point shortest-path backend (hub labels by default, matching the
-// paper's setup) behind an LRU cache, with thread-safe query accounting so
-// benches can report #SP queries per run.
+// paper's setup) behind a lock-striped, sharded LRU cache with exact,
+// race-free query accounting so benches can report #SP queries per run.
+//
+// Concurrency contract (DESIGN.md §"Concurrency model"):
+//  - The network is undirected and every backend is symmetric, so the cache
+//    key is the canonical (min, max) node pair: Cost(s, t) and Cost(t, s)
+//    share one slot and at most one backend computation.
+//  - The cache is split into power-of-two shards, each with its own mutex
+//    and LRU; threads touching different pairs almost never contend.
+//  - A backend computation is counted iff its result enters the cache. The
+//    miss path computes under the shard lock, which doubles as in-flight
+//    deduplication: two threads racing on the same cold pair serialize, the
+//    second finds a hit, and num_queries() is identical at 1 and N threads
+//    (as long as the working set fits the capacity — eviction order, and
+//    hence re-misses, are the one thing access interleaving can change).
 
 #pragma once
 
@@ -10,8 +23,8 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <tuple>
 #include <unordered_map>
+#include <vector>
 
 #include "roadnet/road_network.h"
 
@@ -27,7 +40,10 @@ struct TravelCostOptions {
     kBidirectionalDijkstra,
   };
   Backend backend = Backend::kHubLabeling;
+  /// Total cached pairs across all shards.
   size_t cache_capacity = 1u << 20;
+  /// Lock stripes; rounded up to a power of two, clamped to >= 1.
+  size_t cache_shards = 64;
 };
 
 class TravelCostEngine {
@@ -49,8 +65,8 @@ class TravelCostEngine {
 
   const RoadNetwork& network() const { return net_; }
 
-  /// Backend shortest-path computations (i.e. cache misses).
-  uint64_t num_queries() const { return queries_.load(std::memory_order_relaxed); }
+  /// Backend shortest-path computations (i.e. entries inserted on misses).
+  uint64_t num_queries() const;
   /// All Cost() calls, hits included.
   uint64_t num_lookups() const { return lookups_.load(std::memory_order_relaxed); }
   double CacheHitRate() const;
@@ -58,21 +74,26 @@ class TravelCostEngine {
   size_t MemoryBytes() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<uint64_t, double>> lru;
+    std::unordered_map<uint64_t,
+                       std::list<std::pair<uint64_t, double>>::iterator>
+        map;
+    uint64_t queries = 0;  ///< inserts; guarded by mutex, hence exact
+    size_t capacity = 0;
+  };
+
   double BackendCost(NodeId s, NodeId t) const;
+  Shard& ShardFor(uint64_t key) const;
 
   const RoadNetwork& net_;
   TravelCostOptions options_;
   std::unique_ptr<HubLabeling> hub_labels_;
   std::unique_ptr<ContractionHierarchies> ch_;
 
-  // LRU cache keyed on the (s, t) pair; guarded by a mutex because the SARD
-  // parallel acceptance stage queries from worker threads.
-  mutable std::mutex mutex_;
-  mutable std::list<std::pair<uint64_t, double>> lru_;
-  mutable std::unordered_map<uint64_t,
-                             std::list<std::pair<uint64_t, double>>::iterator>
-      cache_;
-  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
   mutable std::atomic<uint64_t> lookups_{0};
 };
 

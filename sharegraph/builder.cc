@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace structride {
 
@@ -75,20 +76,44 @@ void ShareGraphBuilder::AddBatch(const std::vector<Request>& batch) {
     order_.push_back(r.id);
     graph_.AddNode(r.id);
   }
-  for (size_t i = first_new; i < order_.size(); ++i) {
-    const Request& a = requests_[order_[i]];
+  const size_t num_new = order_.size() - first_new;
+  if (num_new == 0) return;
+
+  // Phase 1 — evaluate pair feasibility, one task per new request against
+  // everything before it. Tasks only read builder state and write their own
+  // slot, and the pair checks are mutually independent, so running them on
+  // the pool changes neither the accepted edges nor the set of travel-cost
+  // pairs queried.
+  std::vector<std::vector<RequestId>> accepted(num_new);
+  std::vector<uint64_t> pruned(num_new, 0);
+  auto check_new_request = [&](size_t task) {
+    const size_t i = first_new + task;
+    const Request& a = requests_.at(order_[i]);
     for (size_t j = 0; j < i; ++j) {
-      const Request& b = requests_[order_[j]];
+      const Request& b = requests_.at(order_[j]);
       // Temporal screen: if one ride must end before the other exists, no
       // overlapping order can be feasible.
       if (a.release_time > b.deadline || b.release_time > a.deadline) continue;
       if (options_.use_angle_pruning && AngleWide(a, b) &&
           !LowerBoundShareable(a, b)) {
-        ++pruned_pairs_;
+        ++pruned[task];
         continue;
       }
-      if (Shareable(a, b)) graph_.AddEdge(a.id, b.id);
+      if (Shareable(a, b)) accepted[task].push_back(b.id);
     }
+  };
+  if (pool_ != nullptr && num_new > 1) {
+    pool_->ParallelFor(num_new, check_new_request);
+  } else {
+    for (size_t task = 0; task < num_new; ++task) check_new_request(task);
+  }
+
+  // Phase 2 — commit serially in canonical order: edge lists come out in
+  // the exact sequence the serial loop would have produced.
+  for (size_t task = 0; task < num_new; ++task) {
+    pruned_pairs_ += pruned[task];
+    const RequestId a_id = order_[first_new + task];
+    for (RequestId b_id : accepted[task]) graph_.AddEdge(a_id, b_id);
   }
 }
 

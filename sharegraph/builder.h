@@ -18,6 +18,8 @@
 
 namespace structride {
 
+class ThreadPool;
+
 struct ShareGraphBuilderOptions {
   bool use_angle_pruning = false;
   /// Seats on the (hypothetical) shared vehicle; pairs share iff
@@ -34,8 +36,17 @@ class ShareGraphBuilder {
       : engine_(engine), options_(options) {}
 
   /// Adds a batch: nodes for every request, then shareability edges among
-  /// the batch and against all previously added requests.
+  /// the batch and against all previously added requests. With a pool set,
+  /// the pairwise feasibility checks (the dominant cost of a SARD batch)
+  /// run on the workers; edges are still committed serially in the
+  /// canonical (insertion-order) sequence, so the graph — and, because pair
+  /// checks are mutually independent, the set of travel-cost pairs queried —
+  /// is identical at any thread count.
   void AddBatch(const std::vector<Request>& batch);
+
+  /// Optional worker pool for AddBatch; null (the default) runs serially.
+  /// Not owned; the caller keeps it alive across AddBatch calls.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   const ShareGraph& graph() const { return graph_; }
   ShareGraph* mutable_graph() { return &graph_; }
@@ -69,6 +80,7 @@ class ShareGraphBuilder {
 
   TravelCostEngine* engine_;
   ShareGraphBuilderOptions options_;
+  ThreadPool* pool_ = nullptr;  ///< not owned
   ShareGraph graph_;
   std::unordered_map<RequestId, Request> requests_;
   std::vector<RequestId> order_;  ///< insertion order, for deterministic pairing

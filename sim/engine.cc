@@ -7,11 +7,27 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace structride {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+RiderOutcome ClassifyRider(double now, double latest_pickup,
+                           double cancel_time) {
+  const bool expired = now > latest_pickup;
+  const bool cancelled = cancel_time < now;
+  if (!expired && !cancelled) return RiderOutcome::kOpen;
+  if (expired && cancelled) {
+    // Both happened within this batch period: the earlier event wins (a
+    // cancellation at exactly the deadline counts as cancelled — the rider
+    // left; the deadline merely also passed).
+    return cancel_time <= latest_pickup ? RiderOutcome::kCancelled
+                                        : RiderOutcome::kExpired;
+  }
+  return expired ? RiderOutcome::kExpired : RiderOutcome::kCancelled;
 }
 
 SimulationEngine::SimulationEngine(TravelCostEngine* engine,
@@ -71,6 +87,13 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
   }
 
   std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(algorithm, config);
+  // One worker pool per run, shared by every batch the dispatcher handles —
+  // thread startup never recurs per batch. Only built when some dispatcher
+  // stage actually consumes it (today: SARD's parallel acceptance).
+  std::unique_ptr<ThreadPool> pool;
+  if (config.num_threads > 1 && config.sard_parallel_acceptance) {
+    pool = std::make_unique<ThreadPool>(config.num_threads);
+  }
   const uint64_t queries_before = engine_->num_queries();
 
   int served = 0;
@@ -105,10 +128,15 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
       std::vector<size_t> keep_idx;
       for (size_t k = 0; k < pending.size(); ++k) {
         const Request* r = pending[k];
-        if (now > r->latest_pickup) continue;  // expired: unserved
-        if (cancel_time[pending_idx[k]] < now) {
-          ++cancelled;
-          continue;
+        switch (ClassifyRider(now, r->latest_pickup,
+                              cancel_time[pending_idx[k]])) {
+          case RiderOutcome::kExpired:  // unserved
+            continue;
+          case RiderOutcome::kCancelled:
+            ++cancelled;
+            continue;
+          case RiderOutcome::kOpen:
+            break;
         }
         keep.push_back(r);
         keep_idx.push_back(pending_idx[k]);
@@ -121,6 +149,7 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
     ctx.now = now;
     ctx.engine = engine_;
     ctx.fleet = &fleet;
+    ctx.pool = pool.get();
     ctx.pending = pending;
     auto t0 = std::chrono::steady_clock::now();
     dispatcher->OnBatch(&ctx);

@@ -34,6 +34,16 @@ struct SimulationOptions {
   double cancellation_patience = 60;
 };
 
+/// What happened to an unassigned rider by batch time \p now. When a rider
+/// both cancelled and passed the pickup deadline within one batch period,
+/// whichever event came *first* decides — a rider who walked away at t=10
+/// against a deadline of t=50 cancelled, no matter how late the batch that
+/// notices is.
+enum class RiderOutcome { kOpen, kExpired, kCancelled };
+
+RiderOutcome ClassifyRider(double now, double latest_pickup,
+                           double cancel_time);
+
 struct RunMetrics {
   std::string dataset;
   std::string algorithm;

@@ -6,11 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
+#include "dispatch/common.h"
+#include "dispatch/spatial_index.h"
+#include "roadnet/generator.h"
 #include "sim/datasets.h"
 #include "sim/engine.h"
 #include "sim/workload.h"
+#include "util/random.h"
 
 namespace structride {
 namespace {
@@ -108,6 +113,166 @@ TEST(DispatchTest, ParallelAcceptanceIsThreadCountInvariant) {
   EXPECT_DOUBLE_EQ(m_serial.unified_cost, m_parallel.unified_cost);
   EXPECT_DOUBLE_EQ(m_serial.service_rate, m_parallel.service_rate);
   EXPECT_EQ(m_serial.served, m_parallel.served);
+}
+
+// The hard determinism bar for the parallel path: same workload and seed,
+// 1 vs 8 worker threads, bitwise-equal RunMetrics. Fresh fixtures mean cold
+// travel-cost caches, so sp_queries compares the actual backend work.
+TEST(DispatchTest, ParallelMetricsAreBitwiseEqualAcrossThreadCounts) {
+  TinyChd one, eight;
+  DispatchConfig c1 = one.Config();
+  c1.sard_parallel_acceptance = true;
+  c1.num_threads = 1;
+  DispatchConfig c8 = eight.Config();
+  c8.sard_parallel_acceptance = true;
+  c8.num_threads = 8;
+  RunMetrics m1 = one.Run("SARD", c1);
+  RunMetrics m8 = eight.Run("SARD", c8);
+  EXPECT_EQ(m1.served, m8.served);
+  EXPECT_EQ(m1.unified_cost, m8.unified_cost);  // bitwise, not approximate
+  EXPECT_EQ(m1.travel_cost, m8.travel_cost);
+  EXPECT_EQ(m1.sp_queries, m8.sp_queries);
+}
+
+// The spatial index must be a pure running-time change: legacy full-sort
+// scans and grid-index scans yield identical dispatch outcomes and backend
+// query counts (cold caches via fresh fixtures).
+TEST(DispatchTest, SpatialIndexPreservesOutcomeAndQueries) {
+  for (const std::string& name :
+       {std::string("SARD"), std::string("pruneGDP"),
+        std::string("TicketAssign+"), std::string("DARM+DPRS")}) {
+    TinyChd legacy, indexed;
+    SCOPED_TRACE(name);
+    DispatchConfig cl = legacy.Config();
+    cl.use_spatial_index = false;
+    DispatchConfig ci = indexed.Config();
+    ci.use_spatial_index = true;
+    RunMetrics ml = legacy.Run(name, cl);
+    RunMetrics mi = indexed.Run(name, ci);
+    EXPECT_EQ(ml.served, mi.served);
+    EXPECT_EQ(ml.unified_cost, mi.unified_cost);
+    EXPECT_EQ(ml.sp_queries, mi.sp_queries);
+  }
+}
+
+// Exactness of the index itself: KNearest must reproduce the first k
+// entries of the full distance sort (ties broken by vehicle index), and the
+// radius query the early-breaking prefix.
+TEST(DispatchTest, SpatialIndexMatchesFullFleetSort) {
+  CityOptions copt;
+  copt.rows = 12;
+  copt.cols = 12;
+  copt.seed = 7;
+  RoadNetwork net = GenerateGridCity(copt);
+  Rng rng(99);
+  std::vector<Vehicle> fleet;
+  for (int i = 0; i < 40; ++i) {
+    NodeId node = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    fleet.emplace_back(i, node, 4);  // duplicate positions exercise ties
+  }
+  dispatch::FleetSpatialIndex index(fleet, net);
+  for (int trial = 0; trial < 30; ++trial) {
+    NodeId from = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    std::vector<size_t> full = dispatch::VehiclesByDistance(fleet, net, from);
+    for (size_t k : {size_t{1}, size_t{5}, size_t{16}, fleet.size(),
+                     fleet.size() + 10}) {
+      std::vector<size_t> got = index.KNearest(from, k);
+      std::vector<size_t> want(full.begin(),
+                               full.begin() + std::min(k, full.size()));
+      EXPECT_EQ(got, want) << "k=" << k << " from=" << from;
+    }
+    for (double radius : {0.0, 2.5, 7.0, 1e9}) {
+      // k = fleet size exercises the dense flat-scan path; small k the
+      // grid walk with both the best-k bound and the radius cap live.
+      for (size_t k : {fleet.size(), size_t{4}}) {
+        std::vector<size_t> got = index.KNearestWithin(from, k, radius);
+        std::vector<size_t> want;
+        for (size_t vi : full) {
+          if (want.size() >= k) break;
+          if (net.EuclidLowerBound(fleet[vi].node(), from) > radius) break;
+          want.push_back(vi);
+        }
+        EXPECT_EQ(got, want) << "radius=" << radius << " k=" << k
+                             << " from=" << from;
+      }
+    }
+  }
+  EXPECT_TRUE(index.KNearestWithin(3, 16, -1.0).empty());
+}
+
+TEST(SimTest, ClassifyRiderPicksTheEarlierEvent) {
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  // Still open: neither event has happened by `now`.
+  EXPECT_EQ(ClassifyRider(5, 10, kNever), RiderOutcome::kOpen);
+  EXPECT_EQ(ClassifyRider(5, 10, 8), RiderOutcome::kOpen);
+  // Only one event inside the batch period.
+  EXPECT_EQ(ClassifyRider(11, 10, kNever), RiderOutcome::kExpired);
+  EXPECT_EQ(ClassifyRider(11, 20, 10), RiderOutcome::kCancelled);
+  // Both events passed in one period: the earlier one decides. The rider
+  // who walked away before the deadline cancelled (the seed engine counted
+  // this as expired because it checked expiry first).
+  EXPECT_EQ(ClassifyRider(50, 10, 5), RiderOutcome::kCancelled);
+  EXPECT_EQ(ClassifyRider(50, 10, 30), RiderOutcome::kExpired);
+  // Cancellation at exactly the deadline: the rider left.
+  EXPECT_EQ(ClassifyRider(50, 10, 10), RiderOutcome::kCancelled);
+}
+
+// A group every vehicle rejects must not starve: SARD retries its halves
+// down to singletons within the batch. Two shareable requests form a pair
+// group, but the whole fleet has capacity-1 vehicles with slack too tight
+// for sequential service — only the singleton split can serve them.
+TEST(DispatchTest, RejectedGroupSplitsDownToSingletons) {
+  CityOptions copt;
+  copt.rows = 8;
+  copt.cols = 8;
+  copt.seed = 21;
+  RoadNetwork net = GenerateGridCity(copt);
+  TravelCostEngine engine(net);
+
+  // Parallel long trips from adjacent corners; gamma = 2, so the latest
+  // pickup allows one direct trip of slack — never a full trip out and back.
+  auto make_request = [&](RequestId id, NodeId s, NodeId t) {
+    Request r;
+    r.id = id;
+    r.source = s;
+    r.destination = t;
+    r.release_time = 0;
+    r.direct_cost = engine.Cost(s, t);
+    r.deadline = 2 * r.direct_cost;
+    r.latest_pickup = r.deadline - r.direct_cost;
+    return r;
+  };
+  Request r1 = make_request(1, 0, 62);
+  Request r2 = make_request(2, 1, 63);
+
+  DispatchConfig config;
+  config.vehicle_capacity = 2;  // the platform believes pairs can share...
+  config.sharegraph.vehicle_capacity = 2;
+  config.grouping.max_group_size = 2;
+
+  auto run_batch = [&](bool split_fallback) {
+    std::vector<Vehicle> fleet;
+    fleet.emplace_back(0, r1.source, 1);  // ...but every real vehicle
+    fleet.emplace_back(1, r2.source, 1);  // has a single seat
+    DispatchConfig c = config;
+    c.sard_split_rejected_groups = split_fallback;
+    std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher("SARD", c);
+    DispatchContext ctx;
+    ctx.now = 1;
+    ctx.engine = &engine;
+    ctx.fleet = &fleet;
+    ctx.pending = {&r1, &r2};
+    dispatcher->OnBatch(&ctx);
+    return ctx.assigned.size();
+  };
+
+  // Without the fallback the pair group is proposed, rejected by both
+  // vehicles, and nobody is assigned — the starvation seed.
+  EXPECT_EQ(run_batch(false), 0u);
+  // With it, the group splits and both riders ride solo.
+  EXPECT_EQ(run_batch(true), 2u);
 }
 
 TEST(DispatchTest, CancellationFaultModelOnlyRemovesPendingRiders) {

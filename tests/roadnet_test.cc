@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "roadnet/astar.h"
 #include "roadnet/contraction_hierarchies.h"
 #include "roadnet/dijkstra.h"
@@ -82,6 +86,60 @@ TEST(RoadnetTest, EngineBackendsMatchAndCacheCountsMisses) {
     }
     EXPECT_EQ(engine.num_queries(), misses);
     EXPECT_GT(engine.CacheHitRate(), 0.0);
+  }
+}
+
+// Regression for the directed-key cache bug: the network is undirected, so
+// Cost(s, t) followed by Cost(t, s) must hit one canonical cache slot and
+// perform exactly one backend query.
+TEST(RoadnetTest, SymmetricPairSharesOneCacheSlot) {
+  TravelCostEngine engine(Net());
+  double st = engine.Cost(3, 77);
+  EXPECT_EQ(engine.num_queries(), 1u);
+  double ts = engine.Cost(77, 3);
+  EXPECT_EQ(engine.num_queries(), 1u);
+  EXPECT_DOUBLE_EQ(st, ts);
+  EXPECT_EQ(engine.num_lookups(), 2u);
+}
+
+// Regression for the double-counted-miss bug: N threads hammering the same
+// cold pairs (both directions) must insert — and therefore count — each
+// canonical pair exactly once, so Tables V/VI savings cannot depend on
+// thread count.
+TEST(RoadnetTest, ConcurrentColdMissesCountEachPairOnce) {
+  const RoadNetwork& net = Net();
+  TravelCostOptions options;
+  options.backend = TravelCostOptions::Backend::kBidirectionalDijkstra;
+  TravelCostEngine engine(net, options);
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  const NodeId n = static_cast<NodeId>(net.num_nodes());
+  for (NodeId s = 0; s < 20; ++s) {
+    pairs.emplace_back(s, static_cast<NodeId>(n - 1 - s));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto& [s, d] : pairs) {
+          engine.Cost(s, d);
+          engine.Cost(d, s);  // the flipped direction is the same pair
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(engine.num_queries(), pairs.size());
+  EXPECT_EQ(engine.num_lookups(),
+            static_cast<uint64_t>(kThreads) * kRounds * 2 * pairs.size());
+  // Values must match single-threaded ground truth.
+  for (const auto& [s, d] : pairs) {
+    EXPECT_NEAR(engine.Cost(s, d), BidirectionalDijkstra(net, s, d), 1e-9);
   }
 }
 

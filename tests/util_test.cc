@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+#include <vector>
+
 #include "geo/angle.h"
 #include "util/random.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace structride {
 namespace {
@@ -54,6 +59,35 @@ TEST(RunningStatTest, MeanAndStdDev) {
   EXPECT_NEAR(stat.StdDev(), 2.138, 1e-3);  // sample stddev
   EXPECT_DOUBLE_EQ(stat.Min(), 2.0);
   EXPECT_DOUBLE_EQ(stat.Max(), 9.0);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<int> counts(1000, 0);  // disjoint slots: no synchronization
+  pool.ParallelFor(counts.size(), [&](size_t i) { ++counts[i]; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(100, [&](size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50l * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, SingleThreadAndEmptyRangesRunInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(7, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 7);
 }
 
 TEST(AngleTest, OrthogonalAndParallel) {
