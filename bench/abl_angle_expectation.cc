@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/harness.h"
 #include "geo/angle.h"
 #include "roadnet/generator.h"
 #include "sharegraph/builder.h"
@@ -110,6 +111,8 @@ int main() {
       }
     }
     double empirical = wide == 0 ? 0 : static_cast<double>(wide_shareable) / wide;
+    bench::RecordJsonValue(name, "gamma=1.5", "analytic_expectation", analytic);
+    bench::RecordJsonValue(name, "gamma=1.5", "empirical_share", empirical);
     std::printf("%-10s%12.3f%12.3f%16.4f%18.4f\n", name, mu, sigma, analytic,
                 empirical);
   }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/insertion.h"
 #include "core/kinetic_tree.h"
 #include "roadnet/generator.h"
@@ -146,6 +147,15 @@ int main() {
                 release_order.Rate(), release_order.total);
     std::printf("%-8d%-22s%14.3f%10d\n", k, "ascending shareability",
                 shareability_order.Rate(), shareability_order.total);
+    const std::string point = "k=" + std::to_string(k);
+    bench::RecordJsonValue("release time", point, "p_optimal",
+                           release_order.Rate());
+    bench::RecordJsonValue("release time", point, "samples",
+                           release_order.total);
+    bench::RecordJsonValue("ascending shareability", point, "p_optimal",
+                           shareability_order.Rate());
+    bench::RecordJsonValue("ascending shareability", point, "samples",
+                           shareability_order.total);
   }
   std::printf("\npaper: release 0.89/0.85, shareability 0.91/0.90 (k=3/k=4)\n");
   return 0;

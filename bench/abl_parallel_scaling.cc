@@ -65,12 +65,19 @@ int main() {
 
       // Serial baseline: one thread, legacy full-sort candidate scans.
       RunMetrics base = sim.Run("SARD", config_for(1, false));
+      base.dataset = ds;
+      RecordJsonRow("SARD", ds + " x" + std::to_string(fleet_mult) + " base",
+                    base);
       std::printf("%-8sx%-7d%-10s%10.3f%16.0f%12.2f%10s\n", ds.c_str(),
                   fleet_mult, "base", base.service_rate, base.unified_cost,
                   base.running_time, "1.00");
 
       for (int threads : {1, 2, 4, 8}) {
         RunMetrics r = sim.Run("SARD", config_for(threads, true));
+        r.dataset = ds;
+        RecordJsonRow("SARD", ds + " x" + std::to_string(fleet_mult) + " t" +
+                                  std::to_string(threads),
+                      r);
         bool same = r.served == base.served &&
                     r.unified_cost == base.unified_cost &&
                     r.sp_queries == base.sp_queries;

@@ -39,6 +39,8 @@ int main() {
       c.grouping.max_group_size = spec.capacity;
       c.sard_propose_worst_first = worst;
       RunMetrics r = sim.Run("SARD", c);
+      r.dataset = ds;
+      RecordJsonRow(worst ? "worst-first" : "best-first", ds, r);
       std::printf("%-8s%-14s%10.3f%14.0f%16.0f%12.2f\n", ds.c_str(),
                   worst ? "worst-first" : "best-first", r.service_rate,
                   r.travel_cost, r.unified_cost, r.running_time);

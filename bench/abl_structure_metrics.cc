@@ -44,6 +44,14 @@ int main() {
       builder.AddBatch(window);
       StructureReport report =
           AnalyzeStructure(builder.graph(), static_cast<size_t>(spec.capacity));
+      const std::string series = pruning ? "angle" : "none";
+      RecordJsonValue(series, ds, "nodes", report.degrees.num_nodes);
+      RecordJsonValue(series, ds, "edges", report.degrees.num_edges);
+      RecordJsonValue(series, ds, "mean_degree", report.degrees.mean_degree);
+      RecordJsonValue(series, ds, "degeneracy", report.degeneracy);
+      RecordJsonValue(series, ds, "max_clique", report.max_clique);
+      RecordJsonValue(series, ds, "partition_cliques",
+                      report.greedy_partition_cliques);
       std::printf("%-9s%-9s%7zu%8zu%9.2f%7.2f%7d%7zu%10zu%9zu%8zu\n", ds.c_str(),
                   pruning ? "angle" : "none", report.degrees.num_nodes,
                   report.degrees.num_edges, report.degrees.mean_degree,

@@ -13,6 +13,7 @@ using structride::bench::BenchAlgorithms;
 using structride::bench::BenchContext;
 using structride::bench::BenchScale;
 using structride::bench::PointParams;
+using structride::bench::RecordJsonRow;
 
 int main() {
   const double scale = BenchScale();
@@ -26,6 +27,7 @@ int main() {
     for (const std::string& algo : BenchAlgorithms()) {
       PointParams p;
       RunMetrics m = ctx.Run(algo, p);
+      RecordJsonRow(algo, dataset, m);
       std::printf("%-10s%-14s%16.0f%14.3f%14.2f\n", dataset.c_str(), algo.c_str(),
                   static_cast<double>(m.memory_bytes) / 1e3, m.service_rate,
                   m.running_time);

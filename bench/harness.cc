@@ -1,5 +1,9 @@
 #include "bench/harness.h"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +14,137 @@
 
 namespace structride {
 namespace bench {
+
+namespace {
+
+// ---------------------------------------------------------------- JSON ----
+
+struct JsonRow {
+  std::string series;
+  std::string point;
+  RunMetrics metrics;
+};
+
+struct JsonValue {
+  std::string series;
+  std::string point;
+  std::string metric;
+  double value;
+};
+
+// Captured at static init, before main, so wall_time_s covers setup and the
+// first run — not just the span between the first and last recorded row.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+struct JsonState {
+  std::vector<JsonRow> rows;
+  std::vector<JsonValue> values;
+  bool at_exit_registered = false;
+};
+
+JsonState& GlobalJsonState() {
+  static JsonState state;
+  return state;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string BinaryName() {
+#ifdef __GLIBC__
+  return program_invocation_short_name;
+#else
+  // No portable program name: disambiguate by pid so concurrent or
+  // sequential benches never overwrite each other's results.
+  return "bench_pid" + std::to_string(static_cast<long>(::getpid()));
+#endif
+}
+
+void WriteJsonAtExit() {
+  const char* dir = std::getenv("STRUCTRIDE_JSON_DIR");
+  if (dir == nullptr) return;
+  JsonState& state = GlobalJsonState();
+  const std::string name = BinaryName();
+  std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_process_start)
+          .count();
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_time_s\": %.3f,\n",
+               name.c_str(), wall);
+  std::fprintf(f, "  \"scale\": %g,\n  \"rows\": [\n", BenchScale());
+  for (size_t i = 0; i < state.rows.size(); ++i) {
+    const JsonRow& r = state.rows[i];
+    const RunMetrics& m = r.metrics;
+    std::fprintf(
+        f,
+        "    {\"series\": \"%s\", \"point\": \"%s\", \"dataset\": \"%s\", "
+        "\"algorithm\": \"%s\", \"unified_cost\": %.6f, \"travel_cost\": "
+        "%.6f, \"penalty_cost\": %.6f, \"service_rate\": %.6f, "
+        "\"running_time_s\": %.6f, \"sp_queries\": %llu, \"memory_bytes\": "
+        "%zu, \"served\": %d, \"cancelled\": %d, \"total_requests\": %d}%s\n",
+        JsonEscape(r.series).c_str(), JsonEscape(r.point).c_str(),
+        JsonEscape(m.dataset).c_str(), JsonEscape(m.algorithm).c_str(),
+        m.unified_cost, m.travel_cost, m.penalty_cost, m.service_rate,
+        m.running_time, static_cast<unsigned long long>(m.sp_queries),
+        m.memory_bytes, m.served, m.cancelled, m.total_requests,
+        i + 1 < state.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"values\": [\n");
+  for (size_t i = 0; i < state.values.size(); ++i) {
+    const JsonValue& v = state.values[i];
+    std::fprintf(f,
+                 "    {\"series\": \"%s\", \"point\": \"%s\", \"metric\": "
+                 "\"%s\", \"value\": %.9g}%s\n",
+                 JsonEscape(v.series).c_str(), JsonEscape(v.point).c_str(),
+                 JsonEscape(v.metric).c_str(), v.value,
+                 i + 1 < state.values.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s (%zu rows, %zu values)\n",
+               path.c_str(), state.rows.size(), state.values.size());
+}
+
+void RegisterJsonAtExit(JsonState* state) {
+  if (!state->at_exit_registered) {
+    state->at_exit_registered = true;
+    std::atexit(WriteJsonAtExit);
+  }
+}
+
+}  // namespace
+
+void RecordJsonRow(const std::string& series, const std::string& point,
+                   const RunMetrics& metrics) {
+  JsonState& state = GlobalJsonState();
+  RegisterJsonAtExit(&state);
+  state.rows.push_back({series, point, metrics});
+}
+
+void RecordJsonValue(const std::string& series, const std::string& point,
+                     const std::string& metric, double value) {
+  JsonState& state = GlobalJsonState();
+  RegisterJsonAtExit(&state);
+  state.values.push_back({series, point, metric, value});
+}
 
 double BenchScale() {
   const char* env = std::getenv("STRUCTRIDE_SCALE");
@@ -112,6 +247,7 @@ void SweepPrinter::Record(const std::string& algorithm, size_t col,
   }
   cells_[row][col].set = true;
   cells_[row][col].metrics = m;
+  RecordJsonRow(algorithm, labels_[col], m);
 }
 
 void SweepPrinter::Print() const {

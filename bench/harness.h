@@ -62,6 +62,20 @@ class BenchContext {
 /// \brief Env-var scale (STRUCTRIDE_SCALE, default 0.25).
 double BenchScale();
 
+/// \brief Machine-readable results: rows accumulate in-process and are
+/// written to $STRUCTRIDE_JSON_DIR/BENCH_<binary>.json at exit — one row per
+/// (series, point) with the full RunMetrics plus the bench's wall time. A
+/// no-op when the env var is unset. SweepPrinter::Record feeds this
+/// automatically; benches with bespoke tables call it directly.
+void RecordJsonRow(const std::string& series, const std::string& point,
+                   const RunMetrics& metrics);
+
+/// \brief Like RecordJsonRow for benches whose output is a scalar statistic
+/// (optimality probabilities, structure metrics) rather than a RunMetrics;
+/// lands in the same BENCH_<binary>.json under "values".
+void RecordJsonValue(const std::string& series, const std::string& point,
+                     const std::string& metric, double value);
+
 /// \brief Algorithms to bench: STRUCTRIDE_ALGOS filter or the paper's six.
 std::vector<std::string> BenchAlgorithms();
 

@@ -2,16 +2,24 @@
 # Nightly smoke: run every bench binary at a small scale so regressions in
 # any figure/table reproduction surface quickly. Usage:
 #   bench/run_all.sh [build-dir]
-# Env: STRUCTRIDE_SCALE (default 0.05), STRUCTRIDE_ALGOS passthrough.
+# Env:
+#   STRUCTRIDE_SCALE      sweep scale (default 0.05)
+#   STRUCTRIDE_ALGOS      algorithm filter passthrough
+#   STRUCTRIDE_BENCH_SET  all | sweep | micro (default all)
+#   STRUCTRIDE_JSON_DIR   where BENCH_<name>.json results land
+#                         (default <build-dir>/bench_json)
 set -u
 
 BUILD_DIR="${1:-build}"
 export STRUCTRIDE_SCALE="${STRUCTRIDE_SCALE:-0.05}"
+BENCH_SET="${STRUCTRIDE_BENCH_SET:-all}"
+export STRUCTRIDE_JSON_DIR="${STRUCTRIDE_JSON_DIR:-$BUILD_DIR/bench_json}"
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
   exit 2
 fi
+mkdir -p "$STRUCTRIDE_JSON_DIR"
 
 SWEEP_BENCHES="
 fig8_vary_vehicles fig9_vary_requests fig10_vary_deadline
@@ -28,35 +36,44 @@ micro_graph_analysis micro_sharegraph abl_sp_backends
 
 failures=0
 ran=0
-for bench in $SWEEP_BENCHES; do
-  exe="$BUILD_DIR/$bench"
-  if [ ! -x "$exe" ]; then
-    echo "missing: $bench" >&2
-    failures=$((failures + 1))
-    continue
-  fi
-  echo "=== $bench (scale $STRUCTRIDE_SCALE) ==="
-  if ! "$exe"; then
-    echo "FAILED: $bench" >&2
-    failures=$((failures + 1))
-  fi
-  ran=$((ran + 1))
-done
+if [ "$BENCH_SET" != "micro" ]; then
+  for bench in $SWEEP_BENCHES; do
+    exe="$BUILD_DIR/$bench"
+    if [ ! -x "$exe" ]; then
+      echo "missing: $bench" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    echo "=== $bench (scale $STRUCTRIDE_SCALE) ==="
+    if ! "$exe"; then
+      echo "FAILED: $bench" >&2
+      failures=$((failures + 1))
+    fi
+    ran=$((ran + 1))
+  done
+fi
 
-for bench in $MICRO_BENCHES; do
-  exe="$BUILD_DIR/$bench"
-  if [ ! -x "$exe" ]; then
-    echo "skipping $bench (not built; Google Benchmark missing?)" >&2
-    continue
-  fi
-  echo "=== $bench ==="
-  if ! "$exe" --benchmark_min_time=0.01; then
-    echo "FAILED: $bench" >&2
-    failures=$((failures + 1))
-  fi
-  ran=$((ran + 1))
-done
+if [ "$BENCH_SET" != "sweep" ]; then
+  for bench in $MICRO_BENCHES; do
+    exe="$BUILD_DIR/$bench"
+    if [ ! -x "$exe" ]; then
+      echo "skipping $bench (not built; Google Benchmark missing?)" >&2
+      continue
+    fi
+    echo "=== $bench ==="
+    # Google Benchmark's native JSON writer covers the micro benches;
+    # micro_shortest_path additionally writes its latency-study JSON via
+    # STRUCTRIDE_JSON_DIR.
+    if ! "$exe" --benchmark_min_time=0.01 \
+         --benchmark_out="$STRUCTRIDE_JSON_DIR/BENCH_${bench}.json" \
+         --benchmark_out_format=json; then
+      echo "FAILED: $bench" >&2
+      failures=$((failures + 1))
+    fi
+    ran=$((ran + 1))
+  done
+fi
 
 echo
-echo "run_all: $ran benches, $failures failures"
+echo "run_all: $ran benches, $failures failures, results in $STRUCTRIDE_JSON_DIR"
 [ "$failures" -eq 0 ]

@@ -13,6 +13,7 @@ using structride::RunMetrics;
 using structride::bench::BenchContext;
 using structride::bench::BenchScale;
 using structride::bench::PointParams;
+using structride::bench::RecordJsonRow;
 
 int main() {
   const double scale = BenchScale();
@@ -26,6 +27,7 @@ int main() {
     PointParams p;
     p.angle_pruning = pruning;
     RunMetrics m = ctx.Run("SARD", p);
+    RecordJsonRow(pruning ? "SARD-O" : "SARD", "Cainiao", m);
     std::printf("%-10s%16.0f%14.4f%18.0f%12.2f\n",
                 pruning ? "SARD-O" : "SARD", m.unified_cost, m.service_rate,
                 static_cast<double>(m.sp_queries) / 1e3, m.running_time);

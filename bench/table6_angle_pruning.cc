@@ -11,6 +11,7 @@ using structride::RunMetrics;
 using structride::bench::BenchContext;
 using structride::bench::BenchScale;
 using structride::bench::PointParams;
+using structride::bench::RecordJsonRow;
 
 int main() {
   const double scale = BenchScale();
@@ -25,6 +26,7 @@ int main() {
       PointParams p;
       p.angle_pruning = pruning;
       RunMetrics m = ctx.Run("SARD", p);
+      RecordJsonRow(pruning ? "SARD-O" : "SARD", dataset, m);
       std::printf("%-8s%-10s%16.0f%14.4f%18.0f%12.2f\n", dataset.c_str(),
                   pruning ? "SARD-O" : "SARD", m.unified_cost, m.service_rate,
                   static_cast<double>(m.sp_queries) / 1e3, m.running_time);

@@ -99,7 +99,28 @@ class SardDispatcher : public Dispatcher {
     auto price_group = [&](const std::vector<const Request*>& members) {
       std::vector<Proposal> props;
       NodeId anchor = members.front()->source;
-      for (size_t vi : scanner.Nearest(anchor, kCandidateVehicles)) {
+      const std::vector<size_t> nearest =
+          scanner.Nearest(anchor, kCandidateVehicles);
+      // Batched warm-up of the first insertion leg: an *idle* candidate's
+      // pricing provably starts with Cost(vehicle node, anchor) — the first
+      // member goes to position 0 of an empty schedule, that position's
+      // lower bound cannot beat an infinite incumbent, and an open
+      // request's pickup deadline is ahead of `now`, so BestInsertion's
+      // first CheckSchedule always prices that leg. One-to-many fetching
+      // those legs pins the anchor's hub label once; CostMany's per-target
+      // cache fill/count keeps sp_queries identical to the point-to-point
+      // path. Busy candidates' first legs depend on their committed stops
+      // and are left to the sequential walk.
+      std::vector<NodeId> idle_nodes;
+      for (size_t vi : nearest) {
+        if (fleet[vi].schedule().empty()) idle_nodes.push_back(fleet[vi].node());
+      }
+      if (idle_nodes.size() > 1) {
+        std::vector<double> warmed(idle_nodes.size());
+        ctx->engine->CostMany(anchor, {idle_nodes.data(), idle_nodes.size()},
+                              warmed.data());
+      }
+      for (size_t vi : nearest) {
         dispatch::GroupInsertion ins = dispatch::InsertGroupSequential(
             fleet[vi].route_state(ctx->now), fleet[vi].schedule(), members,
             ctx->engine);

@@ -152,23 +152,29 @@ ContractionHierarchies::ContractionHierarchies(const RoadNetwork& net) {
     work.RemoveNode(v);
   }
 
-  up_.assign(n, {});
+  // Filter into per-node upward lists, then flatten into the CSR buffer.
+  std::vector<Arc> up;
+  up_offsets_.assign(n + 1, 0);
   for (size_t u = 0; u < n; ++u) {
+    up.clear();
     for (const Arc& arc : all[u]) {
       if (rank_[static_cast<size_t>(arc.to)] > rank_[u]) {
-        up_[u].push_back(arc);
+        up.push_back(arc);
       }
     }
     // Deterministic order + dedupe parallel arcs keeping the cheapest.
-    std::sort(up_[u].begin(), up_[u].end(), [](const Arc& a, const Arc& b) {
+    std::sort(up.begin(), up.end(), [](const Arc& a, const Arc& b) {
       return a.to != b.to ? a.to < b.to : a.cost < b.cost;
     });
-    up_[u].erase(std::unique(up_[u].begin(), up_[u].end(),
-                             [](const Arc& a, const Arc& b) {
-                               return a.to == b.to;
-                             }),
-                 up_[u].end());
+    up.erase(std::unique(up.begin(), up.end(),
+                         [](const Arc& a, const Arc& b) {
+                           return a.to == b.to;
+                         }),
+             up.end());
+    up_arcs_.insert(up_arcs_.end(), up.begin(), up.end());
+    up_offsets_[u + 1] = static_cast<uint32_t>(up_arcs_.size());
   }
+  up_arcs_.shrink_to_fit();
 }
 
 double ContractionHierarchies::Query(NodeId s, NodeId t) const {
@@ -189,7 +195,7 @@ double ContractionHierarchies::Query(NodeId s, NodeId t) const {
     auto ot = other.find(u);
     if (ot != other.end() && d + ot->second < best) best = d + ot->second;
     if (d >= best) return;
-    for (const Arc& arc : up_[static_cast<size_t>(u)]) {
+    for (const Arc& arc : UpArcs(u)) {
       double nd = d + arc.cost;
       auto jt = dist.find(arc.to);
       if (jt == dist.end() || nd < jt->second) {
@@ -212,10 +218,9 @@ double ContractionHierarchies::Query(NodeId s, NodeId t) const {
 }
 
 size_t ContractionHierarchies::MemoryBytes() const {
-  size_t bytes = rank_.size() * sizeof(int32_t);
-  bytes += up_.size() * sizeof(std::vector<Arc>);
-  for (const auto& arcs : up_) bytes += arcs.size() * sizeof(Arc);
-  return bytes;
+  return rank_.capacity() * sizeof(int32_t) +
+         up_offsets_.capacity() * sizeof(uint32_t) +
+         up_arcs_.capacity() * sizeof(Arc);
 }
 
 }  // namespace structride

@@ -2,6 +2,10 @@
 // and hub labels. Nodes are contracted in an edge-difference order with
 // witness searches; queries run a bidirectional upward Dijkstra over the
 // augmented (original + shortcut) graph.
+//
+// Memory layout (DESIGN.md §"Memory layout"): the upward arcs live in one
+// contiguous buffer with a CSR offset array (same shape as the frozen
+// RoadNetwork), so the query's relax loop walks a flat span per node.
 
 #pragma once
 
@@ -29,8 +33,15 @@ class ContractionHierarchies {
     double cost;
   };
 
-  // Upward arcs only: from each node to strictly higher-ranked neighbors.
-  std::vector<std::vector<Arc>> up_;
+  Span<const Arc> UpArcs(NodeId v) const {
+    const size_t u = static_cast<size_t>(v);
+    return {up_arcs_.data() + up_offsets_[u],
+            up_offsets_[u + 1] - up_offsets_[u]};
+  }
+
+  // Upward arcs only (to strictly higher-ranked neighbors), flattened CSR.
+  std::vector<uint32_t> up_offsets_;  ///< size n + 1
+  std::vector<Arc> up_arcs_;
   std::vector<int32_t> rank_;
   size_t num_shortcuts_ = 0;
 };

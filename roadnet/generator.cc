@@ -43,6 +43,8 @@ RoadNetwork GenerateGridCity(const CityOptions& options) {
       }
     }
   }
+  // Generated cities are complete: hand back the frozen CSR form directly.
+  net.Freeze();
   return net;
 }
 

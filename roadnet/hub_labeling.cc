@@ -1,45 +1,115 @@
 #include "roadnet/hub_labeling.h"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
-#include <numeric>
 #include <queue>
 #include <utility>
 
 namespace structride {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Hierarchical quadtree-center build order: the node nearest the full
+// bounding box's center first, then one node per quadrant, breadth-first
+// down the recursion. Every prefix of the order covers the map at its own
+// granularity — the separator property that keeps pruned-landmark labels
+// near sqrt(n) on grid cities (a global centrality sort clusters redundant
+// hubs in the center instead). Deterministic: ties broken by node id.
+std::vector<NodeId> QuadtreeCenterOrder(const RoadNetwork& net) {
+  const size_t n = net.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  if (n == 0) return order;
+
+  double x0 = kInf, y0 = kInf, x1 = -kInf, y1 = -kInf;
+  for (size_t v = 0; v < n; ++v) {
+    const Point& p = net.position(static_cast<NodeId>(v));
+    x0 = std::min(x0, p.x);
+    y0 = std::min(y0, p.y);
+    x1 = std::max(x1, p.x);
+    y1 = std::max(y1, p.y);
+  }
+
+  struct Cell {
+    double x0, y0, x1, y1;
+    std::vector<NodeId> nodes;
+  };
+  std::deque<Cell> queue;
+  Cell root{x0, y0, x1, y1, {}};
+  root.nodes.resize(n);
+  for (size_t v = 0; v < n; ++v) root.nodes[v] = static_cast<NodeId>(v);
+  queue.push_back(std::move(root));
+
+  while (!queue.empty()) {
+    Cell cell = std::move(queue.front());
+    queue.pop_front();
+    if (cell.nodes.empty()) continue;
+    const double cx = (cell.x0 + cell.x1) / 2;
+    const double cy = (cell.y0 + cell.y1) / 2;
+
+    NodeId pick = cell.nodes[0];
+    double best = kInf;
+    for (NodeId v : cell.nodes) {
+      double d = EuclidDistance(net.position(v), {cx, cy});
+      if (d < best || (d == best && v < pick)) {
+        best = d;
+        pick = v;
+      }
+    }
+    order.push_back(pick);
+    if (cell.nodes.size() == 1) continue;
+
+    // Degenerate cell (coincident points): emit the rest in id order rather
+    // than splitting forever.
+    if (cell.x1 - cell.x0 < 1e-9 && cell.y1 - cell.y0 < 1e-9) {
+      std::vector<NodeId> rest;
+      for (NodeId v : cell.nodes) {
+        if (v != pick) rest.push_back(v);
+      }
+      std::sort(rest.begin(), rest.end());
+      for (NodeId v : rest) order.push_back(v);
+      continue;
+    }
+
+    Cell quads[4] = {{cell.x0, cell.y0, cx, cy, {}},
+                     {cx, cell.y0, cell.x1, cy, {}},
+                     {cell.x0, cy, cx, cell.y1, {}},
+                     {cx, cy, cell.x1, cell.y1, {}}};
+    for (NodeId v : cell.nodes) {
+      if (v == pick) continue;
+      const Point& p = net.position(v);
+      int q = (p.x >= cx ? 1 : 0) + (p.y >= cy ? 2 : 0);
+      quads[q].nodes.push_back(v);
+    }
+    for (Cell& q : quads) {
+      if (!q.nodes.empty()) queue.push_back(std::move(q));
+    }
+  }
+  return order;
 }
+
+}  // namespace
 
 HubLabeling::HubLabeling(const RoadNetwork& net) {
   size_t n = net.num_nodes();
-  labels_.assign(n, {});
+  num_nodes_ = n;
+  std::vector<NodeId> order = QuadtreeCenterOrder(net);
 
-  // Build order: distance from the planar centroid, ascending. On grid-like
-  // cities the central nodes cover the most shortest paths, which keeps
-  // labels small; ties broken by id for determinism.
-  Point centroid{0, 0};
-  for (size_t v = 0; v < n; ++v) {
-    centroid = centroid + net.position(static_cast<NodeId>(v));
-  }
-  if (n > 0) {
-    centroid.x /= static_cast<double>(n);
-    centroid.y /= static_cast<double>(n);
-  }
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    double da = EuclidDistance(net.position(a), centroid);
-    double db = EuclidDistance(net.position(b), centroid);
-    if (da != db) return da < db;
-    return a < b;
-  });
+  // Labels grow across hub rounds at arbitrary nodes, so the build works on
+  // per-node (rank, dist) vectors and flattens into the arena at the end.
+  struct BuildEntry {
+    int32_t hub_rank;
+    double dist;
+  };
+  std::vector<std::vector<BuildEntry>> labels(n);
 
   // Query restricted to already-built labels (used for pruning).
   auto pruned_query = [&](NodeId s, NodeId t) {
-    const auto& ls = labels_[static_cast<size_t>(s)];
-    const auto& lt = labels_[static_cast<size_t>(t)];
+    const auto& ls = labels[static_cast<size_t>(s)];
+    const auto& lt = labels[static_cast<size_t>(t)];
     double best = kInf;
     size_t i = 0, j = 0;
     while (i < ls.size() && j < lt.size()) {
@@ -73,7 +143,7 @@ HubLabeling::HubLabeling(const RoadNetwork& net) {
       // Prune: if existing labels already certify a path <= d, the hub adds
       // nothing for u or anything beyond it.
       if (pruned_query(hub, u) <= d + 1e-9) continue;
-      labels_[static_cast<size_t>(u)].push_back({rank, d});
+      labels[static_cast<size_t>(u)].push_back({rank, d});
       for (const RoadNetwork::Arc& arc : net.arcs(u)) {
         double nd = d + arc.cost;
         size_t to = static_cast<size_t>(arc.to);
@@ -88,34 +158,82 @@ HubLabeling::HubLabeling(const RoadNetwork& net) {
     touched.clear();
   }
 
-  for (const auto& label : labels_) total_entries_ += label.size();
+  for (const auto& label : labels) total_entries_ += label.size();
+
+  // Flatten: each node's (rank-ascending) run followed by one sentinel, so
+  // the query merge needs no bound checks at all.
+  offsets_.resize(n);
+  ranks_.reserve(total_entries_ + n);
+  dists_.reserve(total_entries_ + n);
+  for (size_t v = 0; v < n; ++v) {
+    offsets_[v] = static_cast<uint32_t>(ranks_.size());
+    for (const BuildEntry& e : labels[v]) {
+      ranks_.push_back(e.hub_rank);
+      dists_.push_back(e.dist);
+    }
+    ranks_.push_back(kSentinelRank);
+    dists_.push_back(kInf);
+  }
 }
 
 double HubLabeling::Query(NodeId s, NodeId t) const {
   if (s == t) return 0;
-  const auto& ls = labels_[static_cast<size_t>(s)];
-  const auto& lt = labels_[static_cast<size_t>(t)];
+  const int32_t* R = ranks_.data();
+  const double* D = dists_.data();
+  size_t i = offsets_[static_cast<size_t>(s)];
+  size_t j = offsets_[static_cast<size_t>(t)];
   double best = kInf;
-  size_t i = 0, j = 0;
-  while (i < ls.size() && j < lt.size()) {
-    if (ls[i].hub_rank == lt[j].hub_rank) {
-      double d = ls[i].dist + lt[j].dist;
+  // Sentinel-terminated merge join: both runs end on kSentinelRank, so the
+  // loop exits on the equality branch and the index advances compile to
+  // branch-free conditional increments over the dense rank plane.
+  for (;;) {
+    const int32_t ra = R[i];
+    const int32_t rb = R[j];
+    if (ra == rb) {
+      if (ra == kSentinelRank) break;
+      const double d = D[i] + D[j];
       if (d < best) best = d;
       ++i;
       ++j;
-    } else if (ls[i].hub_rank < lt[j].hub_rank) {
-      ++i;
     } else {
-      ++j;
+      i += ra < rb;
+      j += rb < ra;
     }
   }
   return best;
 }
 
+void HubLabeling::PinSource(NodeId s, double* scratch) const {
+  for (size_t k = offsets_[static_cast<size_t>(s)];
+       ranks_[k] != kSentinelRank; ++k) {
+    scratch[ranks_[k]] = dists_[k];
+  }
+}
+
+double HubLabeling::QueryPinned(const double* scratch, NodeId t) const {
+  double best = kInf;
+  // min over the pinned source's hubs ∩ t's hubs: a rank the source does not
+  // label contributes +inf and never wins, so one pass over t's run suffices
+  // and the result is identical to the two-pointer merge in Query.
+  for (size_t k = offsets_[static_cast<size_t>(t)];
+       ranks_[k] != kSentinelRank; ++k) {
+    const double d = scratch[ranks_[k]] + dists_[k];
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+void HubLabeling::UnpinSource(NodeId s, double* scratch) const {
+  for (size_t k = offsets_[static_cast<size_t>(s)];
+       ranks_[k] != kSentinelRank; ++k) {
+    scratch[ranks_[k]] = kInf;
+  }
+}
+
 size_t HubLabeling::MemoryBytes() const {
-  size_t bytes = labels_.size() * sizeof(std::vector<LabelEntry>);
-  bytes += total_entries_ * sizeof(LabelEntry);
-  return bytes;
+  return ranks_.capacity() * sizeof(int32_t) +
+         dists_.capacity() * sizeof(double) +
+         offsets_.capacity() * sizeof(uint32_t);
 }
 
 }  // namespace structride

@@ -1,7 +1,19 @@
 // Pruned-landmark hub labeling (2-hop cover): the paper's fixed
 // shortest-path substrate. Exact distances via a sorted-label merge join;
-// build via pruned Dijkstra in a centrality order that works well on city
-// grids (central intersections make the best hubs).
+// build via pruned Dijkstra in a hierarchical quadtree-center order (a
+// separator-style order: the node nearest the city center first, then the
+// centers of the four quadrants, and so on — every prefix of the order
+// spreads over the map, which is what keeps grid labels small).
+//
+// Memory layout (DESIGN.md §"Memory layout"): all labels live in one
+// contiguous node-major arena addressed by one offset array, stored as two
+// parallel planes — hub ranks (int32, what the merge join scans, 16 per
+// cache line) and distances (double, only touched on rank matches). Each
+// node's run is terminated by a rank sentinel, so the query walks raw
+// pointers with a single compare per step — no per-node vector headers, no
+// bound checks. The pinned-source API spreads one node's label into a
+// rank-indexed scratch array so one-to-many batches
+// (TravelCostEngine::CostMany) pay the source's label walk once.
 
 #pragma once
 
@@ -20,17 +32,30 @@ class HubLabeling {
   /// Exact shortest-path cost (infinity if disconnected).
   double Query(NodeId s, NodeId t) const;
 
+  // One-to-many protocol: PinSource spreads s's label into \p scratch
+  // (>= num_ranks() doubles, all +infinity), QueryPinned answers targets
+  // with results identical to Query(s, t), UnpinSource restores the
+  // all-infinity invariant. The scratch is caller-owned so batched callers
+  // can keep one per thread.
+  size_t num_ranks() const { return num_nodes_; }
+  void PinSource(NodeId s, double* scratch) const;
+  double QueryPinned(const double* scratch, NodeId t) const;
+  void UnpinSource(NodeId s, double* scratch) const;
+
   size_t TotalLabelEntries() const { return total_entries_; }
   size_t MemoryBytes() const;
 
  private:
-  struct LabelEntry {
-    int32_t hub_rank;  // position in the build order; labels sorted by it
-    double dist;
-  };
+  /// Terminates every node's label run; compares greater than any real rank.
+  static constexpr int32_t kSentinelRank = INT32_MAX;
 
-  std::vector<std::vector<LabelEntry>> labels_;
-  size_t total_entries_ = 0;
+  // Node-major label arena: node v's run is [offsets_[v], sentinel), with
+  // ranks_[k] ascending per run and dists_[k] the matching distance.
+  std::vector<int32_t> ranks_;
+  std::vector<double> dists_;
+  std::vector<uint32_t> offsets_;  ///< start of node v's run
+  size_t total_entries_ = 0;       ///< real entries (sentinels excluded)
+  size_t num_nodes_ = 0;
 };
 
 }  // namespace structride

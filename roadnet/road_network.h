@@ -3,6 +3,14 @@
 // guaranteed by every generator to be >= the Euclidean distance between the
 // endpoints, so straight-line distance is an admissible lower bound for all
 // search and pruning code (A*, insertion pruning, angle pruning).
+//
+// Memory layout (DESIGN.md §"Memory layout"): the graph is built through
+// AddNode/AddEdge into per-node vectors, then *frozen* into a CSR view —
+// one offsets array plus one contiguous arc array — that every search
+// backend iterates. Freeze() is idempotent and also runs lazily on the
+// first arcs() call; after it, AddNode/AddEdge are contract violations
+// (SR_CHECK). Freezing must happen before the network is shared across
+// threads (constructing any TravelCostEngine does it).
 
 #pragma once
 
@@ -13,6 +21,7 @@
 
 #include "geo/angle.h"
 #include "util/logging.h"
+#include "util/span.h"
 
 namespace structride {
 
@@ -24,8 +33,11 @@ class RoadNetwork {
     NodeId to = 0;
     double cost = 0;
   };
+  /// Contiguous view of one node's arcs in the frozen CSR.
+  using ArcSpan = Span<const Arc>;
 
   NodeId AddNode(Point position) {
+    SR_CHECK(!frozen_);
     positions_.push_back(position);
     adjacency_.emplace_back();
     return static_cast<NodeId>(positions_.size() - 1);
@@ -33,12 +45,35 @@ class RoadNetwork {
 
   /// Adds an undirected edge (two arcs) with the given travel cost.
   void AddEdge(NodeId u, NodeId v, double cost) {
+    SR_CHECK(!frozen_);
     SR_CHECK(u >= 0 && static_cast<size_t>(u) < positions_.size());
     SR_CHECK(v >= 0 && static_cast<size_t>(v) < positions_.size());
     adjacency_[static_cast<size_t>(u)].push_back({v, cost});
     adjacency_[static_cast<size_t>(v)].push_back({u, cost});
     ++num_edges_;
   }
+
+  /// Compacts the per-node adjacency into the flat CSR arrays and frees the
+  /// build-time vectors. Idempotent; arc order per node is insertion order,
+  /// so pre-freeze and post-freeze traversals visit identical sequences.
+  void Freeze() {
+    if (frozen_) return;
+    const size_t n = positions_.size();
+    offsets_.resize(n + 1);
+    offsets_[0] = 0;
+    for (size_t v = 0; v < n; ++v) {
+      offsets_[v + 1] =
+          offsets_[v] + static_cast<uint32_t>(adjacency_[v].size());
+    }
+    arcs_.reserve(offsets_[n]);
+    for (size_t v = 0; v < n; ++v) {
+      arcs_.insert(arcs_.end(), adjacency_[v].begin(), adjacency_[v].end());
+    }
+    std::vector<std::vector<Arc>>().swap(adjacency_);
+    frozen_ = true;
+  }
+
+  bool frozen() const { return frozen_; }
 
   size_t num_nodes() const { return positions_.size(); }
   size_t num_edges() const { return num_edges_; }
@@ -47,25 +82,36 @@ class RoadNetwork {
     return positions_[static_cast<size_t>(v)];
   }
 
-  const std::vector<Arc>& arcs(NodeId v) const {
-    return adjacency_[static_cast<size_t>(v)];
+  /// The node's arcs as a CSR span; lazily freezes on first use (must not
+  /// race with other threads — freeze explicitly before sharing).
+  ArcSpan arcs(NodeId v) const {
+    if (!frozen_) const_cast<RoadNetwork*>(this)->Freeze();
+    const size_t u = static_cast<size_t>(v);
+    return {arcs_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
   }
 
   double EuclidLowerBound(NodeId u, NodeId v) const {
     return EuclidDistance(position(u), position(v));
   }
 
+  /// Heap bytes actually reserved: capacity-based for every vector so slack
+  /// is charged, plus the per-node vector headers while unfrozen.
   size_t MemoryBytes() const {
-    size_t bytes = positions_.size() * sizeof(Point);
-    bytes += adjacency_.size() * sizeof(std::vector<Arc>);
-    for (const auto& arcs : adjacency_) bytes += arcs.size() * sizeof(Arc);
+    size_t bytes = positions_.capacity() * sizeof(Point);
+    bytes += offsets_.capacity() * sizeof(uint32_t);
+    bytes += arcs_.capacity() * sizeof(Arc);
+    bytes += adjacency_.capacity() * sizeof(std::vector<Arc>);
+    for (const auto& arcs : adjacency_) bytes += arcs.capacity() * sizeof(Arc);
     return bytes;
   }
 
  private:
   std::vector<Point> positions_;
-  std::vector<std::vector<Arc>> adjacency_;
+  std::vector<std::vector<Arc>> adjacency_;  ///< build-time; empty once frozen
+  std::vector<uint32_t> offsets_;            ///< CSR: arcs of v at [v, v+1)
+  std::vector<Arc> arcs_;                    ///< CSR: all arcs, node-major
   size_t num_edges_ = 0;
+  bool frozen_ = false;
 };
 
 }  // namespace structride

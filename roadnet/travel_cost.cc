@@ -1,14 +1,18 @@
 #include "roadnet/travel_cost.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "roadnet/contraction_hierarchies.h"
 #include "roadnet/dijkstra.h"
 #include "roadnet/hub_labeling.h"
+#include "util/bits.h"
 
 namespace structride {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Canonical pair key: the network is undirected and every backend is
 // symmetric, so (s, t) and (t, s) must share one cache slot.
@@ -23,17 +27,19 @@ inline uint64_t ShardHash(uint64_t key) {
   return (key * 0x9e3779b97f4a7c15ull) >> 32;
 }
 
-inline size_t RoundUpPow2(size_t v) {
-  size_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
+// Per-thread rank-indexed scratch for pinned hub-label sources. Invariant:
+// every element is +infinity between CostMany calls (UnpinSource restores
+// it), so a fresh pin only writes the source's own label ranks.
+thread_local std::vector<double> tls_hl_scratch;
 
 }  // namespace
 
 TravelCostEngine::TravelCostEngine(const RoadNetwork& net,
                                    TravelCostOptions options)
     : net_(net), options_(options) {
+  // Freeze before any backend build or concurrent use: every search below
+  // iterates the CSR spans.
+  const_cast<RoadNetwork&>(net_).Freeze();
   switch (options_.backend) {
     case TravelCostOptions::Backend::kHubLabeling:
       hub_labels_ = std::make_unique<HubLabeling>(net_);
@@ -50,8 +56,7 @@ TravelCostEngine::TravelCostEngine(const RoadNetwork& net,
       std::max<size_t>(1, options_.cache_capacity / num_shards);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-    shards_.back()->capacity = per_shard;
+    shards_.push_back(std::make_unique<Shard>(per_shard));
   }
 }
 
@@ -74,30 +79,66 @@ double TravelCostEngine::BackendCost(NodeId s, NodeId t) const {
 }
 
 double TravelCostEngine::Cost(NodeId s, NodeId t) const {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
-  if (s == t) return 0;
+  if (s == t) {
+    self_lookups_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
   const uint64_t key = PairKey(s, t);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) {
-    if (it->second != shard.lru.begin()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    }
-    return it->second->second;
-  }
+  ++shard.lookups;
+  if (const double* hit = shard.lru.Find(key)) return *hit;
   // Miss: compute while holding the shard lock. This serializes racing
   // threads on the same cold pair (the loser sees a hit above), so a backend
   // computation is counted exactly when its result is inserted.
   double cost = BackendCost(s, t);
-  shard.lru.emplace_front(key, cost);
-  shard.map[key] = shard.lru.begin();
+  shard.lru.Insert(key, cost);
   ++shard.queries;
-  if (shard.map.size() > shard.capacity) {
-    shard.map.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-  }
   return cost;
+}
+
+void TravelCostEngine::CostMany(NodeId source, Span<const NodeId> targets,
+                                double* out) const {
+  bool pinned = false;
+  double* scratch = nullptr;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const NodeId t = targets[i];
+    if (t == source) {
+      self_lookups_.fetch_add(1, std::memory_order_relaxed);
+      out[i] = 0;
+      continue;
+    }
+    const uint64_t key = PairKey(source, t);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.lookups;
+    if (const double* hit = shard.lru.Find(key)) {
+      out[i] = *hit;
+      continue;
+    }
+    double cost;
+    if (hub_labels_) {
+      if (!pinned) {
+        // First miss: pin the source's label once. Lazy so an all-hits batch
+        // never touches the scratch. Pinning under the shard lock is safe —
+        // it only reads the immutable label buffer and writes this thread's
+        // scratch.
+        if (tls_hl_scratch.size() < hub_labels_->num_ranks()) {
+          tls_hl_scratch.resize(hub_labels_->num_ranks(), kInf);
+        }
+        scratch = tls_hl_scratch.data();
+        hub_labels_->PinSource(source, scratch);
+        pinned = true;
+      }
+      cost = hub_labels_->QueryPinned(scratch, t);
+    } else {
+      cost = BackendCost(source, t);
+    }
+    shard.lru.Insert(key, cost);
+    ++shard.queries;
+    out[i] = cost;
+  }
+  if (pinned) hub_labels_->UnpinSource(source, scratch);
 }
 
 uint64_t TravelCostEngine::num_queries() const {
@@ -105,6 +146,15 @@ uint64_t TravelCostEngine::num_queries() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->queries;
+  }
+  return total;
+}
+
+uint64_t TravelCostEngine::num_lookups() const {
+  uint64_t total = self_lookups_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lookups;
   }
   return total;
 }
@@ -120,10 +170,7 @@ size_t TravelCostEngine::MemoryBytes() const {
   if (hub_labels_) bytes += hub_labels_->MemoryBytes();
   if (ch_) bytes += ch_->MemoryBytes();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    bytes += shard->map.size() * (sizeof(uint64_t) * 2 + sizeof(double) +
-                                  4 * sizeof(void*));
-    bytes += sizeof(Shard);
+    bytes += shard->lru.MemoryBytes() + sizeof(Shard);
   }
   return bytes;
 }

@@ -8,25 +8,30 @@
 //    key is the canonical (min, max) node pair: Cost(s, t) and Cost(t, s)
 //    share one slot and at most one backend computation.
 //  - The cache is split into power-of-two shards, each with its own mutex
-//    and LRU; threads touching different pairs almost never contend.
+//    and allocation-free flat LRU (roadnet/flat_lru.h); threads touching
+//    different pairs almost never contend.
 //  - A backend computation is counted iff its result enters the cache. The
 //    miss path computes under the shard lock, which doubles as in-flight
 //    deduplication: two threads racing on the same cold pair serialize, the
 //    second finds a hit, and num_queries() is identical at 1 and N threads
 //    (as long as the working set fits the capacity — eviction order, and
 //    hence re-misses, are the one thing access interleaving can change).
+//  - CostMany(s, targets) is per-target equivalent to Cost(s, t): the same
+//    hits, the same misses, the same counts, in the same order — it only
+//    pins the source's hub label once so the batch pays the source-side
+//    label walk a single time instead of per pair.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "roadnet/flat_lru.h"
 #include "roadnet/road_network.h"
+#include "util/span.h"
 
 namespace structride {
 
@@ -58,6 +63,14 @@ class TravelCostEngine {
   /// Shortest-path travel cost between two nodes. Thread-safe.
   double Cost(NodeId s, NodeId t) const;
 
+  /// Batched one-to-many costs: out[i] = Cost(source, targets[i]), with
+  /// identical cache fills, query counts and lookup counts as issuing the
+  /// point-to-point calls in order. With the hub-label backend the source's
+  /// label is pinned once into a per-thread rank-indexed scratch, so each
+  /// miss costs one target-label walk instead of a full merge join.
+  /// Thread-safe.
+  void CostMany(NodeId source, Span<const NodeId> targets, double* out) const;
+
   /// Admissible lower bound (straight-line distance); free, never counted.
   double LowerBound(NodeId s, NodeId t) const {
     return net_.EuclidLowerBound(s, t);
@@ -67,21 +80,19 @@ class TravelCostEngine {
 
   /// Backend shortest-path computations (i.e. entries inserted on misses).
   uint64_t num_queries() const;
-  /// All Cost() calls, hits included.
-  uint64_t num_lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  /// All Cost() calls (CostMany counts one per target), hits included.
+  uint64_t num_lookups() const;
   double CacheHitRate() const;
 
   size_t MemoryBytes() const;
 
  private:
   struct Shard {
+    explicit Shard(size_t capacity) : lru(capacity) {}
     mutable std::mutex mutex;
-    std::list<std::pair<uint64_t, double>> lru;
-    std::unordered_map<uint64_t,
-                       std::list<std::pair<uint64_t, double>>::iterator>
-        map;
+    FlatLru lru;
     uint64_t queries = 0;  ///< inserts; guarded by mutex, hence exact
-    size_t capacity = 0;
+    uint64_t lookups = 0;  ///< Cost/CostMany targets routed here; ditto
   };
 
   double BackendCost(NodeId s, NodeId t) const;
@@ -94,7 +105,10 @@ class TravelCostEngine {
 
   mutable std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_mask_ = 0;
-  mutable std::atomic<uint64_t> lookups_{0};
+  /// s == t lookups only: they never touch a shard, so they keep their own
+  /// counter; everything else is counted under the shard lock it already
+  /// takes (one atomic RMW fewer on the hot path).
+  mutable std::atomic<uint64_t> self_lookups_{0};
 };
 
 }  // namespace structride

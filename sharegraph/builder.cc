@@ -89,6 +89,8 @@ void ShareGraphBuilder::AddBatch(const std::vector<Request>& batch) {
   auto check_new_request = [&](size_t task) {
     const size_t i = first_new + task;
     const Request& a = requests_.at(order_[i]);
+    // Free screens first (no shortest-path queries), collecting survivors.
+    std::vector<const Request*> candidates;
     for (size_t j = 0; j < i; ++j) {
       const Request& b = requests_.at(order_[j]);
       // Temporal screen: if one ride must end before the other exists, no
@@ -99,7 +101,34 @@ void ShareGraphBuilder::AddBatch(const std::vector<Request>& batch) {
         ++pruned[task];
         continue;
       }
-      if (Shareable(a, b)) accepted[task].push_back(b.id);
+      candidates.push_back(&b);
+    }
+    // Batched warm-up: every surviving pair reaches Shareable, whose first
+    // evaluated joint order starts at one rider's pickup and prices the leg
+    // to the other pickup before any deadline can fail — so the
+    // (a.source, b.source) cost is queried for every candidate regardless
+    // of which order wins. Fetching those legs one-to-many pins a's source
+    // label once; CostMany's per-target cache fill/count keeps the query
+    // set — and hence sp_queries — identical to the point-to-point path.
+    if (candidates.size() > 1) {
+      // The leading rider must be able to make its own pickup, or every
+      // joint order starting with it bails before pricing any leg; a pair
+      // where neither rider can lead performs zero queries and must not be
+      // warmed.
+      const bool a_can_lead = a.release_time <= a.latest_pickup + 1e-7;
+      std::vector<NodeId> pickups;
+      pickups.reserve(candidates.size());
+      for (const Request* b : candidates) {
+        if (a_can_lead || b->release_time <= b->latest_pickup + 1e-7) {
+          pickups.push_back(b->source);
+        }
+      }
+      std::vector<double> warmed(pickups.size());
+      engine_->CostMany(a.source, {pickups.data(), pickups.size()},
+                        warmed.data());
+    }
+    for (const Request* b : candidates) {
+      if (Shareable(a, *b)) accepted[task].push_back(b->id);
     }
   };
   if (pool_ != nullptr && num_new > 1) {
@@ -140,8 +169,9 @@ const Request& ShareGraphBuilder::request(RequestId id) const {
 
 size_t ShareGraphBuilder::MemoryBytes() const {
   size_t bytes = graph_.MemoryBytes();
+  bytes += requests_.bucket_count() * sizeof(void*);
   bytes += requests_.size() * (sizeof(Request) + sizeof(RequestId) + 2 * sizeof(void*));
-  bytes += order_.size() * sizeof(RequestId);
+  bytes += order_.capacity() * sizeof(RequestId);
   return bytes;
 }
 

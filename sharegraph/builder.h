@@ -41,7 +41,10 @@ class ShareGraphBuilder {
   /// run on the workers; edges are still committed serially in the
   /// canonical (insertion-order) sequence, so the graph — and, because pair
   /// checks are mutually independent, the set of travel-cost pairs queried —
-  /// is identical at any thread count.
+  /// is identical at any thread count. Each new request's pickup-to-pickup
+  /// legs are prefetched through TravelCostEngine::CostMany (one source, all
+  /// candidate partners), which pins the source's hub label once without
+  /// changing the query set (DESIGN.md §5).
   void AddBatch(const std::vector<Request>& batch);
 
   /// Optional worker pool for AddBatch; null (the default) runs serially.

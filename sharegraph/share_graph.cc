@@ -83,12 +83,15 @@ void ShareGraph::SubstituteSupernode(const std::vector<RequestId>& group,
 }
 
 size_t ShareGraph::MemoryBytes() const {
-  size_t bytes = nodes_.size() * sizeof(RequestId);
+  // Heap bytes actually reserved: vector capacities (not sizes, so growth
+  // slack is charged) plus the hash map's node and bucket-array overhead.
+  size_t bytes = nodes_.capacity() * sizeof(RequestId);
+  bytes += adjacency_.bucket_count() * sizeof(void*);
   bytes += adjacency_.size() *
            (sizeof(RequestId) + sizeof(std::vector<RequestId>) + 2 * sizeof(void*));
   for (const auto& [id, nbrs] : adjacency_) {
     (void)id;
-    bytes += nbrs.size() * sizeof(RequestId);
+    bytes += nbrs.capacity() * sizeof(RequestId);
   }
   return bytes;
 }

@@ -3,13 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <list>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "roadnet/astar.h"
 #include "roadnet/contraction_hierarchies.h"
 #include "roadnet/dijkstra.h"
+#include "roadnet/flat_lru.h"
 #include "roadnet/generator.h"
 #include "roadnet/hub_labeling.h"
 #include "roadnet/travel_cost.h"
@@ -148,6 +152,197 @@ TEST(RoadnetTest, SelfCostIsZeroAndFree) {
   uint64_t before = engine.num_queries();
   EXPECT_DOUBLE_EQ(engine.Cost(7, 7), 0);
   EXPECT_EQ(engine.num_queries(), before);
+}
+
+// The frozen CSR view must expose exactly the arcs AddEdge recorded, per
+// node, in insertion order — so pre-freeze and post-freeze traversals are
+// the same sequence.
+TEST(RoadnetTest, CsrFreezePreservesArcOrder) {
+  RoadNetwork net;
+  NodeId a = net.AddNode({0, 0});
+  NodeId b = net.AddNode({1, 0});
+  NodeId c = net.AddNode({0, 1});
+  net.AddEdge(a, b, 1.5);
+  net.AddEdge(a, c, 2.0);
+  net.AddEdge(b, c, 2.5);
+  EXPECT_FALSE(net.frozen());
+  RoadNetwork::ArcSpan arcs_a = net.arcs(a);  // lazy freeze
+  EXPECT_TRUE(net.frozen());
+  ASSERT_EQ(arcs_a.size(), 2u);
+  EXPECT_EQ(arcs_a[0].to, b);
+  EXPECT_DOUBLE_EQ(arcs_a[0].cost, 1.5);
+  EXPECT_EQ(arcs_a[1].to, c);
+  EXPECT_DOUBLE_EQ(arcs_a[1].cost, 2.0);
+  RoadNetwork::ArcSpan arcs_c = net.arcs(c);
+  ASSERT_EQ(arcs_c.size(), 2u);
+  EXPECT_EQ(arcs_c[0].to, a);
+  EXPECT_EQ(arcs_c[1].to, b);
+  EXPECT_EQ(net.num_edges(), 3u);
+  EXPECT_GT(net.MemoryBytes(), 0u);
+}
+
+// Randomized equivalence over generator layouts: every backend over the
+// frozen CSR must agree with plain Dijkstra ground truth.
+TEST(RoadnetTest, RandomGridBackendEquivalence) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    CityOptions opt;
+    opt.rows = 7;
+    opt.cols = 8;
+    opt.seed = seed;
+    opt.diagonal_prob = 0.3;
+    RoadNetwork net = GenerateGridCity(opt);
+    EXPECT_TRUE(net.frozen());
+    HubLabeling hl(net);
+    ContractionHierarchies ch(net);
+    Rng rng(seed);
+    for (int trial = 0; trial < 25; ++trial) {
+      NodeId s = static_cast<NodeId>(
+          rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+      NodeId t = static_cast<NodeId>(
+          rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+      std::vector<double> ref = DijkstraAll(net, s);
+      double expected = ref[static_cast<size_t>(t)];
+      EXPECT_NEAR(BidirectionalDijkstra(net, s, t), expected, 1e-6);
+      EXPECT_NEAR(AStarCost(net, s, t), expected, 1e-6);
+      EXPECT_NEAR(hl.Query(s, t), expected, 1e-6);
+      EXPECT_NEAR(ch.Query(s, t), expected, 1e-6);
+    }
+  }
+}
+
+// Two islands with no connecting edge: cross-island costs must be infinite
+// from every backend; intra-island costs must still match Dijkstra.
+TEST(RoadnetTest, DisconnectedComponentsReportInfinity) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  RoadNetwork net;
+  // Island A: a 2x2 block at the origin; island B: the same block far away.
+  for (double off : {0.0, 50.0}) {
+    NodeId base = net.AddNode({off, off});
+    net.AddNode({off + 1, off});
+    net.AddNode({off, off + 1});
+    net.AddNode({off + 1, off + 1});
+    net.AddEdge(base, base + 1, 1.2);
+    net.AddEdge(base, base + 2, 1.1);
+    net.AddEdge(base + 1, base + 3, 1.3);
+    net.AddEdge(base + 2, base + 3, 1.4);
+  }
+  HubLabeling hl(net);
+  ContractionHierarchies ch(net);
+  for (NodeId s = 0; s < 4; ++s) {
+    for (NodeId t = 4; t < 8; ++t) {
+      EXPECT_EQ(hl.Query(s, t), kInf);
+      EXPECT_EQ(ch.Query(s, t), kInf);
+      EXPECT_EQ(BidirectionalDijkstra(net, s, t), kInf);
+      EXPECT_EQ(AStarCost(net, s, t), kInf);
+    }
+  }
+  for (NodeId s = 0; s < 8; ++s) {
+    std::vector<double> ref = DijkstraAll(net, s);
+    for (NodeId t = 0; t < 8; ++t) {
+      double expected = ref[static_cast<size_t>(t)];
+      if (expected == kInf) {
+        EXPECT_EQ(hl.Query(s, t), kInf);
+      } else {
+        EXPECT_NEAR(hl.Query(s, t), expected, 1e-9);
+        EXPECT_NEAR(ch.Query(s, t), expected, 1e-9);
+      }
+    }
+  }
+  // CostMany across components: infinities propagate, queries still count.
+  TravelCostEngine engine(net);
+  std::vector<NodeId> targets = {4, 5, 0, 6};
+  std::vector<double> out(targets.size());
+  engine.CostMany(0, {targets.data(), targets.size()}, out.data());
+  EXPECT_EQ(out[0], kInf);
+  EXPECT_EQ(out[1], kInf);
+  EXPECT_DOUBLE_EQ(out[2], 0);
+  EXPECT_EQ(out[3], kInf);
+  EXPECT_EQ(engine.num_queries(), 3u);
+}
+
+// CostMany must be per-target equivalent to the point-to-point path:
+// bitwise-identical results and identical num_queries()/num_lookups(), for
+// every backend, including duplicate and self targets.
+TEST(RoadnetTest, CostManyMatchesRepeatedCost) {
+  const RoadNetwork& net = Net();
+  for (auto backend : {TravelCostOptions::Backend::kHubLabeling,
+                       TravelCostOptions::Backend::kContractionHierarchies,
+                       TravelCostOptions::Backend::kBidirectionalDijkstra}) {
+    TravelCostOptions options;
+    options.backend = backend;
+    TravelCostEngine seq(net, options);
+    TravelCostEngine batch(net, options);
+
+    const NodeId source = 12;
+    Rng rng(17);
+    std::vector<NodeId> targets;
+    for (int i = 0; i < 40; ++i) {
+      targets.push_back(static_cast<NodeId>(
+          rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1)));
+    }
+    targets.push_back(source);      // self target: free, uncounted query
+    targets.push_back(targets[0]);  // duplicate: second hit, one count
+    targets.push_back(targets[5]);
+
+    std::vector<double> expected;
+    for (NodeId t : targets) expected.push_back(seq.Cost(source, t));
+    std::vector<double> got(targets.size());
+    batch.CostMany(source, {targets.data(), targets.size()}, got.data());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "target " << i;
+    }
+    EXPECT_EQ(batch.num_queries(), seq.num_queries());
+    EXPECT_EQ(batch.num_lookups(), seq.num_lookups());
+
+    // Second pass is all hits on both paths.
+    for (NodeId t : targets) seq.Cost(source, t);
+    batch.CostMany(source, {targets.data(), targets.size()}, got.data());
+    EXPECT_EQ(batch.num_queries(), seq.num_queries());
+    EXPECT_EQ(batch.num_lookups(), seq.num_lookups());
+  }
+}
+
+// The flat open-addressing LRU must behave exactly like the PR2 shard it
+// replaced (std::list + unordered_map): same hits, same values, same
+// eviction victims in the same order.
+TEST(RoadnetTest, FlatLruMatchesReferenceListLru) {
+  constexpr size_t kCapacity = 8;
+  FlatLru flat(kCapacity);
+  EXPECT_EQ(flat.capacity(), kCapacity);
+  std::list<std::pair<uint64_t, double>> ref_lru;
+  std::unordered_map<uint64_t,
+                     std::list<std::pair<uint64_t, double>>::iterator>
+      ref_map;
+
+  Rng rng(99);
+  for (int op = 0; op < 5000; ++op) {
+    uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 23));
+    const double* hit = flat.Find(key);
+    auto it = ref_map.find(key);
+    if (it != ref_map.end()) {
+      ASSERT_NE(hit, nullptr) << "op " << op;
+      EXPECT_EQ(*hit, it->second->second);
+      if (it->second != ref_lru.begin()) {
+        ref_lru.splice(ref_lru.begin(), ref_lru, it->second);
+      }
+    } else {
+      ASSERT_EQ(hit, nullptr) << "op " << op;
+      double value = static_cast<double>(key) * 3.5 + op;
+      std::optional<uint64_t> evicted = flat.Insert(key, value);
+      ref_lru.emplace_front(key, value);
+      ref_map[key] = ref_lru.begin();
+      if (ref_map.size() > kCapacity) {
+        ASSERT_TRUE(evicted.has_value()) << "op " << op;
+        EXPECT_EQ(*evicted, ref_lru.back().first) << "op " << op;
+        ref_map.erase(ref_lru.back().first);
+        ref_lru.pop_back();
+      } else {
+        EXPECT_FALSE(evicted.has_value()) << "op " << op;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref_map.size());
+  }
+  EXPECT_GT(flat.MemoryBytes(), 0u);
 }
 
 }  // namespace

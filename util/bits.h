@@ -1,0 +1,16 @@
+// Small bit-twiddling helpers shared by the cache sizing code.
+
+#pragma once
+
+#include <cstddef>
+
+namespace structride {
+
+/// Smallest power of two >= v (returns 1 for v == 0).
+inline size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace structride

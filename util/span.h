@@ -1,0 +1,33 @@
+// Minimal contiguous view (C++17 stand-in for std::span): pointer + length
+// over memory owned elsewhere. Used for the frozen CSR arc ranges and the
+// batched travel-cost API so hot loops iterate raw arrays without the
+// per-node vector header indirection.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace structride {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+  template <typename U>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace structride
