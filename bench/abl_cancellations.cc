@@ -36,6 +36,7 @@ int main() {
         SimulationOptions sopts;
         sopts.batch_period = 5;
         sopts.seed = 4242;
+        sopts.dataset = ds;
         sopts.cancellation_rate = rate;
         sopts.cancellation_patience = 60.0;
         SimulationEngine sim(&engine, requests, sopts);
@@ -44,7 +45,6 @@ int main() {
         config.vehicle_capacity = spec.capacity;
         config.grouping.max_group_size = spec.capacity;
         RunMetrics m = sim.Run(algorithm, config);
-        m.dataset = ds;
         RecordJsonRow(algorithm, ds + " rate=" + std::to_string(rate), m);
         std::printf("%-8s%-14s%8.1f%10.3f%12d%16.0f\n", ds.c_str(),
                     algorithm.c_str(), rate, m.service_rate, m.cancelled,

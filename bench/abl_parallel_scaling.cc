@@ -44,6 +44,7 @@ int main() {
     SimulationOptions sopts;
     sopts.batch_period = 10;
     sopts.seed = 4242;
+    sopts.dataset = ds;
 
     for (int fleet_mult : {1, 4}) {
       SimulationEngine sim(&engine, reqs, sopts);
@@ -65,7 +66,6 @@ int main() {
 
       // Serial baseline: one thread, legacy full-sort candidate scans.
       RunMetrics base = sim.Run("SARD", config_for(1, false));
-      base.dataset = ds;
       RecordJsonRow("SARD", ds + " x" + std::to_string(fleet_mult) + " base",
                     base);
       std::printf("%-8sx%-7d%-10s%10.3f%16.0f%12.2f%10s\n", ds.c_str(),
@@ -74,7 +74,6 @@ int main() {
 
       for (int threads : {1, 2, 4, 8}) {
         RunMetrics r = sim.Run("SARD", config_for(threads, true));
-        r.dataset = ds;
         RecordJsonRow("SARD", ds + " x" + std::to_string(fleet_mult) + " t" +
                                   std::to_string(threads),
                       r);

@@ -31,6 +31,7 @@ int main() {
     SimulationOptions sopts;
     sopts.batch_period = 5;
     sopts.seed = 4242;
+    sopts.dataset = ds;
     SimulationEngine sim(&engine, reqs, sopts);
     sim.SpawnFleet(spec.num_vehicles, spec.capacity);
     for (bool worst : {true, false}) {
@@ -39,7 +40,6 @@ int main() {
       c.grouping.max_group_size = spec.capacity;
       c.sard_propose_worst_first = worst;
       RunMetrics r = sim.Run("SARD", c);
-      r.dataset = ds;
       RecordJsonRow(worst ? "worst-first" : "best-first", ds, r);
       std::printf("%-8s%-14s%10.3f%14.0f%16.0f%12.2f\n", ds.c_str(),
                   worst ? "worst-first" : "best-first", r.service_rate,

@@ -99,12 +99,17 @@ void WriteJsonAtExit() {
         "\"algorithm\": \"%s\", \"unified_cost\": %.6f, \"travel_cost\": "
         "%.6f, \"penalty_cost\": %.6f, \"service_rate\": %.6f, "
         "\"running_time_s\": %.6f, \"sp_queries\": %llu, \"memory_bytes\": "
-        "%zu, \"served\": %d, \"cancelled\": %d, \"total_requests\": %d}%s\n",
+        "%zu, \"served\": %d, \"cancelled\": %d, \"total_requests\": %d, "
+        "\"pickup_wait_p50\": %.6f, \"pickup_wait_p99\": %.6f, "
+        "\"mean_detour_ratio\": %.6f, \"late_dropoffs\": %d, "
+        "\"repositions\": %d, \"reposition_cost\": %.6f}%s\n",
         JsonEscape(r.series).c_str(), JsonEscape(r.point).c_str(),
         JsonEscape(m.dataset).c_str(), JsonEscape(m.algorithm).c_str(),
         m.unified_cost, m.travel_cost, m.penalty_cost, m.service_rate,
         m.running_time, static_cast<unsigned long long>(m.sp_queries),
         m.memory_bytes, m.served, m.cancelled, m.total_requests,
+        m.pickup_wait_p50, m.pickup_wait_p99, m.mean_detour_ratio,
+        m.late_dropoffs, m.repositions, m.reposition_cost,
         i + 1 < state.rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"values\": [\n");
@@ -205,6 +210,7 @@ RunMetrics BenchContext::Run(const std::string& algorithm,
   SimulationOptions sopts;
   sopts.batch_period = params.batch_period;
   sopts.seed = 4242;
+  sopts.dataset = spec_.name;  // the engine stamps RunMetrics::dataset
   int capacity = params.capacity > 0 ? params.capacity : spec_.capacity;
   sopts.capacity_sigma = params.capacity_sigma;
   sopts.capacity_mean = params.capacity_sigma > 0 ? 4 : capacity;
@@ -223,9 +229,7 @@ RunMetrics BenchContext::Run(const std::string& algorithm,
   config.ilp_node_cap = 200'000;
   config.num_threads = 4;
 
-  RunMetrics m = sim.Run(algorithm, config);
-  m.dataset = spec_.name;
-  return m;
+  return sim.Run(algorithm, config);
 }
 
 SweepPrinter::SweepPrinter(std::string title, std::vector<std::string> labels)

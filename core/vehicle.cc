@@ -1,5 +1,7 @@
 #include "core/vehicle.h"
 
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace structride {
@@ -34,7 +36,32 @@ bool Vehicle::CommitSchedule(const Schedule& schedule, double now,
   arrivals_ = std::move(arrivals);
   legs_ = std::move(legs);
   time_ = state.start_time;
+  repositioning_ = false;  // real work abandons an in-flight reposition
+  ++epoch_;
   return true;
+}
+
+bool Vehicle::BeginReposition(NodeId target, double now,
+                              TravelCostEngine* engine) {
+  if (!schedule_.empty() || repositioning_ || target == node_) return false;
+  double leg = engine->Cost(node_, target);
+  // An unreachable target (disconnected component: Cost = +inf) must not
+  // become a leg — it would never complete mid-run and would charge +inf
+  // into travel_cost at the end-of-run drain.
+  if (!std::isfinite(leg)) return false;
+  double start = now > time_ ? now : time_;
+  reposition_leg_ = leg;
+  reposition_arrival_ = start + leg;
+  reposition_target_ = target;
+  repositioning_ = true;
+  ++epoch_;
+  return true;
+}
+
+void Vehicle::CancelReposition() {
+  if (!repositioning_) return;
+  repositioning_ = false;
+  ++epoch_;
 }
 
 void Vehicle::AdvanceTo(double now,
@@ -61,6 +88,16 @@ void Vehicle::AdvanceTo(double now,
                         mutable_stops.begin() + static_cast<long>(done));
     arrivals_.erase(arrivals_.begin(), arrivals_.begin() + static_cast<long>(done));
     legs_.erase(legs_.begin(), legs_.begin() + static_cast<long>(done));
+    ++epoch_;
+  }
+  if (repositioning_ && reposition_arrival_ <= now) {
+    travel_cost_ += reposition_leg_;
+    reposition_cost_ += reposition_leg_;
+    ++repositions_completed_;
+    node_ = reposition_target_;
+    time_ = reposition_arrival_;
+    repositioning_ = false;
+    ++epoch_;
   }
 }
 

@@ -4,11 +4,25 @@
 // last completed stop; committing a new schedule re-times every remaining
 // stop from there and must pass a full feasibility check, so promises made
 // to committed riders are never broken.
+//
+// Two orthogonal bits of state serve the event-driven simulation core
+// (DESIGN.md §6):
+//  - `in_service`: an out-of-service vehicle (scenario downtime / shift
+//    change) finishes its committed stops but receives no new work — every
+//    dispatcher candidate scan skips it.
+//  - an empty *reposition* leg: an idle vehicle can be sent toward demand.
+//    Under the committed model it stays at its current node until the leg's
+//    arrival; the travel cost accrues on completion, and committing a real
+//    schedule first abandons the move at zero cost (the vehicle never left).
+//  - `epoch`: bumped whenever the committed future changes (commit,
+//    reposition begin/cancel, any completion), so queued stop-completion
+//    events can detect they are stale.
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <vector>
+#include <limits>
 
 #include "core/schedule.h"
 
@@ -28,6 +42,29 @@ class Vehicle {
 
   const Schedule& schedule() const { return schedule_; }
 
+  /// True unless a scenario pulled the vehicle out of service. Out-of-
+  /// service vehicles still complete their committed stops.
+  bool in_service() const { return in_service_; }
+  void set_in_service(bool in) { in_service_ = in; }
+
+  /// Bumped on every change to the committed timeline; see header comment.
+  uint64_t epoch() const { return epoch_; }
+
+  /// When the next committed stop (or reposition arrival) completes;
+  /// +infinity when nothing is in flight.
+  double next_completion_time() const {
+    if (!arrivals_.empty()) return arrivals_.front();
+    if (repositioning_) return reposition_arrival_;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  bool repositioning() const { return repositioning_; }
+  NodeId reposition_target() const { return reposition_target_; }
+  /// Completed (not abandoned) reposition legs and their summed travel
+  /// cost; the cost is also folded into total_travel_cost().
+  int repositions_completed() const { return repositions_completed_; }
+  double reposition_cost() const { return reposition_cost_; }
+
   /// Vehicle-side context for evaluating schedule edits at time \p now.
   RouteState route_state(double now) const {
     return {node_, now > time_ ? now : time_, capacity_, onboard_};
@@ -35,12 +72,22 @@ class Vehicle {
 
   /// Replaces the remaining schedule, re-timing every stop from
   /// route_state(now). Returns false (and leaves the vehicle untouched) if
-  /// the new schedule is infeasible.
+  /// the new schedule is infeasible. Success abandons any in-flight
+  /// reposition leg (committed model: the vehicle never left, no cost).
   bool CommitSchedule(const Schedule& schedule, double now,
                       TravelCostEngine* engine);
 
-  /// Completes every stop serviced by \p now; invokes \p on_stop with the
-  /// stop and its service time, in order.
+  /// Starts an empty relocation toward \p target (one travel-cost query for
+  /// the leg). Requires an idle, non-repositioning vehicle; returns false
+  /// when those preconditions fail or \p target is the current node.
+  bool BeginReposition(NodeId target, double now, TravelCostEngine* engine);
+
+  /// Abandons an in-flight reposition at zero cost. No-op when idle.
+  void CancelReposition();
+
+  /// Completes every stop serviced by \p now — and a reposition leg whose
+  /// arrival has passed — invoking \p on_stop with each stop and its
+  /// service time, in order (reposition completions don't invoke it).
   void AdvanceTo(double now,
                  const std::function<void(const Stop&, double)>& on_stop);
 
@@ -54,6 +101,15 @@ class Vehicle {
   Schedule schedule_;
   std::vector<double> arrivals_;  ///< service time per remaining stop
   std::vector<double> legs_;     ///< travel cost into each remaining stop
+
+  bool in_service_ = true;
+  uint64_t epoch_ = 0;
+  bool repositioning_ = false;
+  NodeId reposition_target_ = 0;
+  double reposition_arrival_ = 0;
+  double reposition_leg_ = 0;
+  int repositions_completed_ = 0;
+  double reposition_cost_ = 0;
 };
 
 }  // namespace structride

@@ -52,6 +52,7 @@ class GasDispatcher : public Dispatcher {
     std::vector<TripCandidate> candidates;
     size_t grouping_bytes = 0;
     for (size_t vi = 0; vi < fleet.size(); ++vi) {
+      if (!fleet[vi].in_service()) continue;  // downtime: no new work
       GroupingResult res =
           EnumerateGroups(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
                           pool, &builder.graph(), ctx->engine, gopts);
@@ -118,6 +119,7 @@ class RtvDispatcher : public Dispatcher {
     std::vector<TripCandidate> trips;
     int64_t node_budget = config_.ilp_node_cap;
     for (size_t vi = 0; vi < fleet.size() && node_budget > 0; ++vi) {
+      if (!fleet[vi].in_service()) continue;  // downtime: no new work
       gopts.max_groups = static_cast<size_t>(node_budget);
       GroupingResult res =
           EnumerateGroups(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
@@ -185,6 +187,7 @@ class RtvDispatcher : public Dispatcher {
       size_t best_vehicle = 0;
       Schedule best_schedule;
       for (size_t vi = 0; vi < fleet.size(); ++vi) {
+        if (!fleet[vi].in_service()) continue;
         InsertionCandidate cand =
             BestInsertion(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
                           r, ctx->engine);

@@ -8,10 +8,12 @@ namespace dispatch {
 
 std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
                                        const RoadNetwork& net, NodeId from) {
-  std::vector<size_t> order(fleet.size());
-  std::iota(order.begin(), order.end(), 0u);
+  std::vector<size_t> order;
+  order.reserve(fleet.size());
   std::vector<double> dist(fleet.size());
   for (size_t i = 0; i < fleet.size(); ++i) {
+    if (!fleet[i].in_service()) continue;  // scenario downtime: no new work
+    order.push_back(i);
     dist[i] = net.EuclidLowerBound(fleet[i].node(), from);
   }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {

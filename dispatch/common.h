@@ -12,10 +12,11 @@
 namespace structride {
 namespace dispatch {
 
-/// Fleet indices sorted by straight-line distance from \p from (ties by
-/// vehicle index, so orderings are deterministic). The legacy full-fleet
-/// scan: O(F log F) per call. Kept as the spatial index's ground truth and
-/// as the serial baseline behind `DispatchConfig::use_spatial_index=false`.
+/// In-service fleet indices sorted by straight-line distance from \p from
+/// (ties by vehicle index, so orderings are deterministic); vehicles a
+/// scenario pulled out of service are omitted. The legacy full-fleet scan:
+/// O(F log F) per call. Kept as the spatial index's ground truth and as the
+/// serial baseline behind `DispatchConfig::use_spatial_index=false`.
 std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
                                        const RoadNetwork& net, NodeId from);
 

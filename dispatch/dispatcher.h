@@ -45,6 +45,13 @@ struct DispatchConfig {
   bool use_spatial_index = true;
 };
 
+/// An empty relocation for an idle vehicle (the repositioning hook,
+/// DESIGN.md §6): move fleet index \p vehicle toward \p target.
+struct RepositionMove {
+  size_t vehicle = 0;
+  NodeId target = 0;
+};
+
 struct DispatchContext {
   double now = 0;
   TravelCostEngine* engine = nullptr;
@@ -55,10 +62,20 @@ struct DispatchContext {
   ThreadPool* pool = nullptr;
   /// Open requests in release order.
   std::vector<const Request*> pending;
+  /// True when this invocation was triggered by a single request-release
+  /// event (the scenario-enabled online dispatch mode) rather than a batch
+  /// tick. Batch methods may treat per-event rounds like tiny batches.
+  bool online_event = false;
   /// Outputs: requests assigned this round; requests the dispatcher gives up
   /// on permanently (online methods reject instead of queueing).
   std::vector<RequestId> assigned;
   std::vector<RequestId> rejected;
+  /// Output: relocations the dispatcher proposes for idle vehicles; the
+  /// engine applies them after the round, then consults the installed
+  /// RepositioningPolicy (if any) for more. No built-in dispatcher fills
+  /// this today. Out-of-service, busy or already-repositioning vehicles are
+  /// skipped when applying.
+  std::vector<RepositionMove> repositions;
 };
 
 class Dispatcher {

@@ -33,7 +33,11 @@ FleetSpatialIndex::FleetSpatialIndex(const std::vector<Vehicle>& fleet,
                                      const RoadNetwork& net)
     : net_(&net) {
   positions_.reserve(fleet.size());
-  for (const Vehicle& v : fleet) positions_.push_back(net.position(v.node()));
+  active_.reserve(fleet.size());
+  for (const Vehicle& v : fleet) {
+    positions_.push_back(net.position(v.node()));
+    active_.push_back(v.in_service() ? 1 : 0);
+  }
   if (positions_.empty()) {
     buckets_.resize(1);
     return;
@@ -56,7 +60,10 @@ FleetSpatialIndex::FleetSpatialIndex(const std::vector<Vehicle>& fleet,
   cell_h_ = std::max((max_y - min_y_) / rows_, 1e-9);
   buckets_.resize(static_cast<size_t>(cols_) * static_cast<size_t>(rows_));
   // Fleet order insertion keeps every bucket ascending by vehicle index.
+  // Out-of-service vehicles are never bucketed: the index answers candidate
+  // scans, and pulled vehicles take no new work.
   for (size_t i = 0; i < positions_.size(); ++i) {
+    if (!active_[i]) continue;
     int cx = std::min(cols_ - 1,
                       std::max(0, static_cast<int>((positions_[i].x - min_x_) /
                                                    cell_w_)));
@@ -82,6 +89,7 @@ std::vector<size_t> FleetSpatialIndex::Query(NodeId from, size_t k,
     std::vector<std::pair<double, size_t>> cand;
     cand.reserve(positions_.size());
     for (size_t i = 0; i < positions_.size(); ++i) {
+      if (!active_[i]) continue;
       double d = EuclidDistance(q, positions_[i]);
       if (max_dist >= 0 && d > max_dist) continue;
       cand.emplace_back(d, i);
@@ -163,6 +171,7 @@ std::vector<size_t> FleetSpatialIndex::Query(NodeId from, size_t k,
 
 size_t FleetSpatialIndex::MemoryBytes() const {
   size_t bytes = positions_.size() * (sizeof(Point) + sizeof(size_t));
+  bytes += active_.capacity() * sizeof(char);
   bytes += buckets_.size() * sizeof(std::vector<size_t>);
   return bytes;
 }

@@ -7,7 +7,9 @@
 // Exactness contract: KNearest(from, k) returns exactly the first k entries
 // of dispatch::VehiclesByDistance(fleet, net, from) — straight-line distance
 // ascending, vehicle index ascending on ties — so swapping the index in
-// changes running time, never dispatch outcomes.
+// changes running time, never dispatch outcomes. Both sides of the contract
+// omit vehicles that are out of service (scenario downtime takes them off
+// the candidate market; they still finish their committed stops).
 
 #pragma once
 
@@ -49,6 +51,7 @@ class FleetSpatialIndex {
 
   const RoadNetwork* net_;
   std::vector<Point> positions_;  ///< per fleet index, batch-start position
+  std::vector<char> active_;      ///< per fleet index, in_service at build
   double min_x_ = 0, min_y_ = 0;
   double cell_w_ = 1, cell_h_ = 1;
   int cols_ = 1, rows_ = 1;

@@ -4,16 +4,59 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "sim/event_queue.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace structride {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Nearest-rank percentile over an ascending-sorted sample; 0 when empty.
+double NearestRank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
 }
+
+// Service-quality stats over the served riders, shared by the event core
+// and the frozen legacy loop so both emit identical numbers: pickup wait =
+// pickup - release; detour ratio = in-vehicle time / direct cost.
+void FinalizeServiceQuality(const std::vector<Request>& requests,
+                            const std::vector<char>& served_mask,
+                            const std::vector<double>& pickup_time,
+                            const std::vector<double>& dropoff_time,
+                            RunMetrics* m) {
+  std::vector<double> waits;
+  waits.reserve(static_cast<size_t>(m->served));
+  double detour_sum = 0;
+  size_t detour_count = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!served_mask[i]) continue;
+    waits.push_back(pickup_time[i] - requests[i].release_time);
+    if (requests[i].direct_cost > 0) {
+      detour_sum +=
+          (dropoff_time[i] - pickup_time[i]) / requests[i].direct_cost;
+      ++detour_count;
+    }
+  }
+  std::sort(waits.begin(), waits.end());
+  m->pickup_wait_p50 = NearestRank(waits, 0.50);
+  m->pickup_wait_p99 = NearestRank(waits, 0.99);
+  m->mean_detour_ratio =
+      detour_count > 0 ? detour_sum / static_cast<double>(detour_count) : 0;
+}
+
+}  // namespace
 
 RiderOutcome ClassifyRider(double now, double latest_pickup,
                            double cancel_time) {
@@ -35,14 +78,16 @@ SimulationEngine::SimulationEngine(TravelCostEngine* engine,
                                    SimulationOptions options)
     : engine_(engine),
       requests_(std::move(requests)),
-      options_(options),
-      run_rng_(options.seed ^ 0xfa51c0de5eedull) {
+      options_(std::move(options)),
+      run_rng_(options_.seed ^ 0xfa51c0de5eedull) {
   SR_CHECK(engine_ != nullptr);
   std::stable_sort(requests_.begin(), requests_.end(),
                    [](const Request& a, const Request& b) {
                      return a.release_time < b.release_time;
                    });
 }
+
+SimulationEngine::~SimulationEngine() = default;
 
 void SimulationEngine::SpawnFleet(int num_vehicles, int capacity) {
   SR_CHECK(num_vehicles > 0);
@@ -56,13 +101,22 @@ void SimulationEngine::SpawnFleet(int num_vehicles, int capacity) {
   spawn_capacity_ = capacity;
 }
 
-RunMetrics SimulationEngine::Run(const std::string& algorithm,
-                                 const DispatchConfig& config) {
-  SR_CHECK(!spawn_nodes_.empty());  // SpawnFleet first
-  const size_t n = requests_.size();
+void SimulationEngine::AddScenario(std::unique_ptr<Scenario> scenario) {
+  SR_CHECK(scenario != nullptr);
+  scenarios_.push_back(std::move(scenario));
+}
 
+void SimulationEngine::ClearScenarios() { scenarios_.clear(); }
+
+void SimulationEngine::SetRepositioningPolicy(
+    std::unique_ptr<RepositioningPolicy> policy) {
+  repositioning_ = std::move(policy);
+}
+
+std::vector<Vehicle> SimulationEngine::BuildFleet() {
   // Fresh fleet from the fixed spawn; per-run capacity draws under the
-  // Appendix-C variance model.
+  // Appendix-C variance model. The draw order is shared with the legacy
+  // loop, so both engines consume run_rng_ identically.
   std::vector<Vehicle> fleet;
   fleet.reserve(spawn_nodes_.size());
   for (size_t i = 0; i < spawn_nodes_.size(); ++i) {
@@ -74,35 +128,521 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
     }
     fleet.emplace_back(static_cast<int>(i), spawn_nodes_[i], capacity);
   }
+  return fleet;
+}
 
-  // Rider impatience draws.
-  std::vector<double> cancel_time(n, kInf);
+std::vector<double> SimulationEngine::DrawCancelOffsets() {
+  std::vector<double> offset(requests_.size(), kInf);
   if (options_.cancellation_rate > 0) {
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < offset.size(); ++i) {
       if (run_rng_.Uniform(0, 1) < options_.cancellation_rate) {
-        cancel_time[i] = requests_[i].release_time +
-                         run_rng_.Exponential(options_.cancellation_patience);
+        offset[i] = run_rng_.Exponential(options_.cancellation_patience);
       }
     }
   }
+  return offset;
+}
 
-  std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(algorithm, config);
-  // One worker pool per run, shared by every batch the dispatcher handles —
+// ---------------------------------------------------------------------------
+// The event-driven core. One EventRun is one Run(): it owns the per-run
+// state (a retimeable copy of the stream, the fleet, the event queue, the
+// request-state array) and is the ScenarioHost the installed scenarios act
+// through. See DESIGN.md §6 for the event taxonomy and the batch-tick
+// equivalence argument.
+// ---------------------------------------------------------------------------
+
+class SimulationEngine::EventRun : public ScenarioHost {
+ public:
+  EventRun(SimulationEngine* owner, const std::string& algorithm,
+           const DispatchConfig& config)
+      : owner_(owner),
+        engine_(owner->engine_),
+        options_(owner->options_),
+        config_(config),
+        algorithm_(algorithm),
+        requests_(owner->requests_) {}
+
+  RunMetrics Execute();
+
+  // -- ScenarioHost ---------------------------------------------------------
+  double now() const override { return now_; }
+  const std::vector<Vehicle>& fleet() const override { return fleet_; }
+
+  void ScheduleAt(double when, int64_t tag) override {
+    SR_CHECK(current_scenario_ >= 0);  // only from OnInstall / OnEvent
+    queue_.Push({when < now_ ? now_ : when, EventType::kScenario,
+                 current_scenario_, tag});
+  }
+
+  void RetimeWindow(double begin, double end, double factor) override {
+    SR_CHECK(installing_);  // the stream is scheduled right after install
+    SR_CHECK(end > begin);
+    SR_CHECK(factor > 0);
+    for (Request& r : requests_) {
+      if (r.release_time < begin || r.release_time >= end) continue;
+      double retimed = begin + (r.release_time - begin) / factor;
+      double delta = retimed - r.release_time;
+      r.release_time = retimed;
+      r.deadline += delta;        // slack-preserving shift
+      r.latest_pickup += delta;
+    }
+  }
+
+  int PullVehicles(int count) override {
+    SR_CHECK(current_scenario_ >= 0);  // only from OnInstall / OnEvent
+    int pulled = 0;
+    // Idle vehicles first, then busy ones, ascending index: deterministic
+    // and least disruptive to committed riders.
+    for (int want_idle = 1; want_idle >= 0; --want_idle) {
+      for (size_t vi = 0; vi < fleet_.size() && pulled < count; ++vi) {
+        Vehicle& v = fleet_[vi];
+        if (!v.in_service() || static_cast<int>(v.idle()) != want_idle) {
+          continue;
+        }
+        v.CancelReposition();  // off-duty vehicles stop chasing demand
+        v.set_in_service(false);
+        pulled_stack_.push_back({vi, current_scenario_});
+        ++pulled;
+      }
+    }
+    return pulled;
+  }
+
+  int RestoreVehicles(int count) override {
+    SR_CHECK(current_scenario_ >= 0);
+    // Each scenario restores only the vehicles *it* pulled (most recent
+    // first) — with overlapping downtime windows, popping a shared stack
+    // would hand one scenario another's off-duty fleet.
+    int restored = 0;
+    for (size_t k = pulled_stack_.size(); k-- > 0 && restored < count;) {
+      if (pulled_stack_[k].scenario != current_scenario_) continue;
+      fleet_[pulled_stack_[k].vehicle].set_in_service(true);
+      pulled_stack_.erase(pulled_stack_.begin() + static_cast<long>(k));
+      ++restored;
+    }
+    return restored;
+  }
+
+  void SetOnlineDispatch(bool on) override { online_dispatch_ = on; }
+
+ private:
+  enum class ReqState : uint8_t {
+    kUnreleased,
+    kOpen,
+    kAssigned,
+    kRejected,
+    kExpired,
+    kCancelled,
+    kServed,
+  };
+  static constexpr uint64_t kNoEpoch = ~uint64_t{0};
+
+  void OpenRequest(size_t idx);
+  void HandleRelease(size_t idx);
+  void HandleStopEvent(size_t vi, int64_t epoch);
+  void DispatchRound(bool online);
+  void SweepPending();
+  void CloseRequest(size_t idx, ReqState to);
+  void ApplyRepositions(const std::vector<RepositionMove>& moves);
+  void SyncVehicle(size_t vi);
+  void RecordStop(const Stop& stop, double when);
+  bool AllVehiclesIdle() const;
+  RunMetrics Finalize();
+
+  SimulationEngine* owner_;
+  TravelCostEngine* engine_;
+  const SimulationOptions& options_;
+  const DispatchConfig& config_;
+  std::string algorithm_;
+
+  std::vector<Request> requests_;  ///< per-run copy; scenarios may retime it
+  std::vector<double> cancel_offset_;
+  std::unordered_map<RequestId, size_t> id2idx_;
+  std::vector<ReqState> state_;
+  std::vector<char> served_mask_;
+  std::vector<double> pickup_time_;
+  std::vector<double> dropoff_time_;
+  std::vector<size_t> pending_;  ///< request indices, release order
+
+  std::vector<Vehicle> fleet_;
+  std::vector<uint64_t> scheduled_epoch_;  ///< per vehicle: epoch with a
+                                           ///< live queued stop event
+  struct PulledVehicle {
+    size_t vehicle = 0;
+    int64_t scenario = -1;  ///< which scenario pulled it
+  };
+  std::vector<PulledVehicle> pulled_stack_;
+
+  EventQueue queue_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  double now_ = 0;
+  double tick_time_ = 0;
+  bool done_ = false;
+  bool installing_ = false;
+  bool online_dispatch_ = false;
+  int64_t current_scenario_ = -1;
+  size_t released_ = 0;
+  size_t open_count_ = 0;
+  int served_ = 0;
+  int cancelled_ = 0;
+  int late_dropoffs_ = 0;
+  double dispatch_seconds_ = 0;
+  uint64_t queries_before_ = 0;
+};
+
+RunMetrics SimulationEngine::EventRun::Execute() {
+  const size_t n = requests_.size();
+  fleet_ = owner_->BuildFleet();
+  cancel_offset_ = owner_->DrawCancelOffsets();
+  id2idx_.reserve(n);
+  for (size_t i = 0; i < n; ++i) id2idx_[requests_[i].id] = i;
+  state_.assign(n, ReqState::kUnreleased);
+  served_mask_.assign(n, 0);
+  pickup_time_.assign(n, 0);
+  dropoff_time_.assign(n, 0);
+  scheduled_epoch_.assign(fleet_.size(), kNoEpoch);
+
+  dispatcher_ = MakeDispatcher(algorithm_, config_);
+  // One worker pool per run, shared by every round the dispatcher handles —
   // thread startup never recurs per batch. Only built when some dispatcher
   // stage actually consumes it (today: SARD's parallel acceptance).
+  if (config_.num_threads > 1 && config_.sard_parallel_acceptance) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  queries_before_ = engine_->num_queries();
+
+  // Install phase: scenarios reshape the per-run stream and schedule their
+  // events before anything fires.
+  installing_ = true;
+  for (size_t si = 0; si < owner_->scenarios_.size(); ++si) {
+    current_scenario_ = static_cast<int64_t>(si);
+    owner_->scenarios_[si]->OnInstall(this);
+  }
+  current_scenario_ = -1;
+  installing_ = false;
+
+  // Schedule every release. Stable sort on (possibly retimed) release times
+  // keeps equal-time requests in stored order, and the queue's FIFO tie
+  // break preserves it — exactly the legacy pending order.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return requests_[a].release_time < requests_[b].release_time;
+  });
+  for (size_t idx : order) {
+    queue_.Push({requests_[idx].release_time, EventType::kRequestRelease,
+                 static_cast<int64_t>(idx), 0});
+  }
+
+  // Batch ticks accumulate exactly like the legacy `now += period` loop so
+  // the tick timestamps are the same doubles.
+  const double period = options_.batch_period > 0 ? options_.batch_period : 1;
+  tick_time_ = period;
+  queue_.Push({tick_time_, EventType::kBatchTick, 0, 0});
+
+  while (!done_ && !queue_.empty()) {
+    Event e = queue_.Pop();
+    now_ = e.time;
+    switch (e.type) {
+      case EventType::kRequestRelease:
+        HandleRelease(static_cast<size_t>(e.a));
+        break;
+      case EventType::kStopCompletion:
+        HandleStopEvent(static_cast<size_t>(e.a), e.b);
+        break;
+      case EventType::kScenario:
+        current_scenario_ = e.a;
+        owner_->scenarios_[static_cast<size_t>(e.a)]->OnEvent(this, e.b);
+        current_scenario_ = -1;
+        break;
+      case EventType::kBatchTick:
+        DispatchRound(/*online=*/false);
+        // The legacy termination condition, evaluated after the round:
+        // stream exhausted, nothing open, fleet idle.
+        if (released_ >= n && open_count_ == 0 && AllVehiclesIdle()) {
+          done_ = true;
+        } else {
+          tick_time_ += period;
+          queue_.Push({tick_time_, EventType::kBatchTick, 0, 0});
+        }
+        break;
+      case EventType::kRiderCancellation:
+        if (state_[static_cast<size_t>(e.a)] == ReqState::kOpen) {
+          CloseRequest(static_cast<size_t>(e.a), ReqState::kCancelled);
+          ++cancelled_;
+        }
+        break;
+      case EventType::kRiderExpiry:
+        if (state_[static_cast<size_t>(e.a)] == ReqState::kOpen) {
+          CloseRequest(static_cast<size_t>(e.a), ReqState::kExpired);
+        }
+        break;
+    }
+  }
+  // Finish any in-flight reposition legs: the policy committed to the move,
+  // so its deadhead cost is charged even though the run is over. Committed
+  // stops cannot remain here (termination requires an idle fleet).
+  for (Vehicle& v : fleet_) {
+    v.AdvanceTo(kInf, [this](const Stop& stop, double when) {
+      RecordStop(stop, when);
+    });
+  }
+  return Finalize();
+}
+
+void SimulationEngine::EventRun::OpenRequest(size_t idx) {
+  SR_CHECK(state_[idx] == ReqState::kUnreleased);
+  state_[idx] = ReqState::kOpen;
+  ++open_count_;
+  ++released_;
+  pending_.push_back(idx);
+  const Request& r = requests_[idx];
+  // Lifecycle events are scheduled lazily at release so retimed requests
+  // carry their shifted deadlines and cancellation countdowns naturally.
+  queue_.Push({r.latest_pickup, EventType::kRiderExpiry,
+               static_cast<int64_t>(idx), 0});
+  if (cancel_offset_[idx] < kInf) {
+    queue_.Push({r.release_time + cancel_offset_[idx],
+                 EventType::kRiderCancellation, static_cast<int64_t>(idx), 0});
+  }
+}
+
+void SimulationEngine::EventRun::HandleRelease(size_t idx) {
+  OpenRequest(idx);
+  if (!online_dispatch_) return;
+  // Per-request online mode: dispatch right at release, coalescing
+  // same-timestamp releases into one round.
+  while (!queue_.empty() && queue_.Top().type == EventType::kRequestRelease &&
+         queue_.Top().time == now_) {
+    OpenRequest(static_cast<size_t>(queue_.Pop().a));
+  }
+  DispatchRound(/*online=*/true);
+}
+
+void SimulationEngine::EventRun::HandleStopEvent(size_t vi, int64_t epoch) {
+  Vehicle& v = fleet_[vi];
+  if (static_cast<uint64_t>(epoch) != v.epoch()) return;  // stale: the
+  // committed timeline changed after this event was queued.
+  v.AdvanceTo(now_, [this](const Stop& stop, double when) {
+    RecordStop(stop, when);
+  });
+  SyncVehicle(vi);
+}
+
+void SimulationEngine::EventRun::DispatchRound(bool online) {
+  // The one mark-and-sweep over request state: lifecycle events and the
+  // previous round's assignments only *marked* states; this compaction
+  // replaces both of the legacy loop's pending-filter passes.
+  SweepPending();
+
+  DispatchContext ctx;
+  ctx.now = now_;
+  ctx.engine = engine_;
+  ctx.fleet = &fleet_;
+  ctx.pool = pool_.get();
+  ctx.online_event = online;
+  ctx.pending.reserve(pending_.size());
+  for (size_t idx : pending_) ctx.pending.push_back(&requests_[idx]);
+
+  auto t0 = std::chrono::steady_clock::now();
+  dispatcher_->OnBatch(&ctx);
+  dispatch_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (RequestId id : ctx.assigned) {
+    auto it = id2idx_.find(id);
+    SR_CHECK(it != id2idx_.end());
+    CloseRequest(it->second, ReqState::kAssigned);
+  }
+  for (RequestId id : ctx.rejected) {
+    auto it = id2idx_.find(id);
+    SR_CHECK(it != id2idx_.end());
+    CloseRequest(it->second, ReqState::kRejected);
+  }
+
+  if (!ctx.repositions.empty()) ApplyRepositions(ctx.repositions);
+  if (owner_->repositioning_ != nullptr) {
+    std::vector<const Request*> open;
+    open.reserve(pending_.size());
+    for (size_t idx : pending_) {
+      if (state_[idx] == ReqState::kOpen) open.push_back(&requests_[idx]);
+    }
+    RepositioningContext rc;
+    rc.now = now_;
+    rc.net = &engine_->network();
+    rc.fleet = &fleet_;
+    rc.open = &open;
+    std::vector<RepositionMove> moves;
+    owner_->repositioning_->Propose(rc, &moves);
+    ApplyRepositions(moves);
+  }
+
+  // Commits and repositions changed committed timelines; (re)queue one stop
+  // event per vehicle with work in flight.
+  for (size_t vi = 0; vi < fleet_.size(); ++vi) SyncVehicle(vi);
+}
+
+void SimulationEngine::EventRun::SweepPending() {
+  size_t out = 0;
+  for (size_t k = 0; k < pending_.size(); ++k) {
+    if (state_[pending_[k]] == ReqState::kOpen) pending_[out++] = pending_[k];
+  }
+  pending_.resize(out);
+}
+
+void SimulationEngine::EventRun::CloseRequest(size_t idx, ReqState to) {
+  if (state_[idx] == ReqState::kOpen) --open_count_;
+  state_[idx] = to;
+}
+
+void SimulationEngine::EventRun::ApplyRepositions(
+    const std::vector<RepositionMove>& moves) {
+  for (const RepositionMove& mv : moves) {
+    if (mv.vehicle >= fleet_.size()) continue;
+    if (mv.target < 0 ||
+        static_cast<size_t>(mv.target) >= engine_->network().num_nodes()) {
+      continue;
+    }
+    Vehicle& v = fleet_[mv.vehicle];
+    if (!v.in_service() || !v.idle() || v.repositioning()) continue;
+    v.BeginReposition(mv.target, now_, engine_);
+  }
+}
+
+void SimulationEngine::EventRun::SyncVehicle(size_t vi) {
+  Vehicle& v = fleet_[vi];
+  if (scheduled_epoch_[vi] == v.epoch()) return;  // live event queued
+  double when = v.next_completion_time();
+  if (!(when < kInf)) return;  // nothing in flight; stale events self-drop
+  queue_.Push({when, EventType::kStopCompletion, static_cast<int64_t>(vi),
+               static_cast<int64_t>(v.epoch())});
+  scheduled_epoch_[vi] = v.epoch();
+}
+
+void SimulationEngine::EventRun::RecordStop(const Stop& stop, double when) {
+  auto it = id2idx_.find(stop.request);
+  SR_CHECK(it != id2idx_.end());
+  size_t idx = it->second;
+  if (stop.kind == StopKind::kPickup) {
+    pickup_time_[idx] = when;
+    return;
+  }
+  dropoff_time_[idx] = when;
+  if (when <= stop.deadline + 1e-6) {
+    ++served_;
+    served_mask_[idx] = 1;
+    CloseRequest(idx, ReqState::kServed);
+  } else {
+    ++late_dropoffs_;  // impossible by construction; pinned by tests
+  }
+}
+
+bool SimulationEngine::EventRun::AllVehiclesIdle() const {
+  for (const Vehicle& v : fleet_) {
+    if (!v.idle()) return false;
+  }
+  return true;
+}
+
+RunMetrics SimulationEngine::EventRun::Finalize() {
+  const size_t n = requests_.size();
+  RunMetrics metrics;
+  metrics.dataset = options_.dataset;
+  metrics.algorithm = algorithm_;
+  metrics.total_requests = static_cast<int>(n);
+  metrics.served = served_;
+  metrics.cancelled = cancelled_;
+  metrics.service_rate =
+      n == 0 ? 0 : static_cast<double>(served_) / static_cast<double>(n);
+  for (const Vehicle& v : fleet_) {
+    metrics.travel_cost += v.total_travel_cost();
+    metrics.repositions += v.repositions_completed();
+    metrics.reposition_cost += v.reposition_cost();
+  }
+  // Unified cost (Sec. II): total travel plus p_r for every request not
+  // served, with p_r = coefficient * direct cost. Cancelled riders count as
+  // unserved — the platform lost them. Same summation order as the legacy
+  // loop (stored request order), so the doubles match bitwise.
+  double penalty = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!served_mask_[i]) {
+      penalty += config_.penalty_coefficient * requests_[i].direct_cost;
+    }
+  }
+  metrics.penalty_cost = penalty;
+  metrics.unified_cost = metrics.travel_cost + penalty;
+  metrics.running_time = dispatch_seconds_;
+  metrics.sp_queries = engine_->num_queries() - queries_before_;
+  metrics.memory_bytes = dispatcher_->MemoryBytes();
+  metrics.late_dropoffs = late_dropoffs_;
+  FinalizeServiceQuality(requests_, served_mask_, pickup_time_, dropoff_time_,
+                         &metrics);
+  return metrics;
+}
+
+RunMetrics SimulationEngine::Run(const std::string& algorithm,
+                                 const DispatchConfig& config) {
+  SR_CHECK(!spawn_nodes_.empty());  // SpawnFleet first
+  EventRun run(this, algorithm, config);
+  return run.Execute();
+}
+
+// ---------------------------------------------------------------------------
+// The frozen fixed-batch loop: the pre-event engine, kept verbatim (modulo
+// the shared fleet/cancellation draw helpers and the service-quality
+// bookkeeping both paths emit). tests/engine_test.cc holds Run() to bitwise
+// equality against this when no scenarios are installed. Do not "improve"
+// it — its exact semantics are the contract.
+// ---------------------------------------------------------------------------
+
+RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
+                                       const DispatchConfig& config) {
+  SR_CHECK(!spawn_nodes_.empty());  // SpawnFleet first
+  const size_t n = requests_.size();
+
+  std::vector<Vehicle> fleet = BuildFleet();
+
+  // Rider impatience draws.
+  std::vector<double> offset = DrawCancelOffsets();
+  std::vector<double> cancel_time(n, kInf);
+  for (size_t i = 0; i < n; ++i) {
+    cancel_time[i] = requests_[i].release_time + offset[i];
+  }
+
+  std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(algorithm, config);
   std::unique_ptr<ThreadPool> pool;
   if (config.num_threads > 1 && config.sard_parallel_acceptance) {
     pool = std::make_unique<ThreadPool>(config.num_threads);
   }
   const uint64_t queries_before = engine_->num_queries();
 
+  std::unordered_map<RequestId, size_t> id2idx;
+  id2idx.reserve(n);
+  for (size_t i = 0; i < n; ++i) id2idx[requests_[i].id] = i;
+
   int served = 0;
   int cancelled = 0;
-  std::unordered_set<RequestId> served_ids;
+  int late_dropoffs = 0;
+  std::vector<char> served_mask(n, 0);
+  std::vector<double> pickup_time(n, 0);
+  std::vector<double> dropoff_time(n, 0);
   auto on_stop = [&](const Stop& stop, double when) {
-    if (stop.kind == StopKind::kDropoff && when <= stop.deadline + 1e-6) {
+    auto it = id2idx.find(stop.request);
+    SR_CHECK(it != id2idx.end());
+    size_t idx = it->second;
+    if (stop.kind == StopKind::kPickup) {
+      pickup_time[idx] = when;
+      return;
+    }
+    dropoff_time[idx] = when;
+    if (when <= stop.deadline + 1e-6) {
       ++served;
-      served_ids.insert(stop.request);
+      served_mask[idx] = 1;
+    } else {
+      ++late_dropoffs;
     }
   };
 
@@ -186,6 +726,7 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
   for (Vehicle& v : fleet) v.AdvanceTo(kInf, on_stop);
 
   RunMetrics metrics;
+  metrics.dataset = options_.dataset;
   metrics.algorithm = algorithm;
   metrics.total_requests = static_cast<int>(n);
   metrics.served = served;
@@ -197,9 +738,9 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
   // served, with p_r = coefficient * direct cost. Cancelled riders count as
   // unserved — the platform lost them.
   double penalty = 0;
-  for (const Request& r : requests_) {
-    if (!served_ids.count(r.id)) {
-      penalty += config.penalty_coefficient * r.direct_cost;
+  for (size_t i = 0; i < n; ++i) {
+    if (!served_mask[i]) {
+      penalty += config.penalty_coefficient * requests_[i].direct_cost;
     }
   }
   metrics.penalty_cost = penalty;
@@ -207,6 +748,9 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
   metrics.running_time = dispatch_seconds;
   metrics.sp_queries = engine_->num_queries() - queries_before;
   metrics.memory_bytes = dispatcher->MemoryBytes();
+  metrics.late_dropoffs = late_dropoffs;
+  FinalizeServiceQuality(requests_, served_mask, pickup_time, dropoff_time,
+                         &metrics);
   return metrics;
 }
 

@@ -1,7 +1,16 @@
-// The batch simulation engine: replays a request stream against a fleet and
-// one dispatcher, advancing in fixed batch periods. Produces the unified
-// metrics the paper plots (unified cost, service rate, running time,
-// #SP queries, instrumented memory) plus the fault-model counters.
+// The simulation engine: replays a request stream against a fleet and one
+// dispatcher, producing the unified metrics the paper plots (unified cost,
+// service rate, running time, #SP queries, instrumented memory) plus the
+// fault-model counters and per-rider service-quality stats.
+//
+// Run() is the event-driven continuous-time core (DESIGN.md §6): a binary-
+// heap EventQueue over typed events — request release, batch tick, stop
+// completion, rider cancellation/expiry, scenario events — with the legacy
+// fixed-batch semantics expressed as scheduled tick events. With no
+// scenarios installed and no repositioning policy, Run() is bitwise
+// identical to RunLegacy(), the frozen pre-event batch loop kept as the
+// equivalence reference (tests/engine_test.cc pins this at 1 and 8 worker
+// threads on all three presets).
 //
 // Statefulness contract: SpawnFleet fixes the fleet's spawn positions once;
 // every Run starts from that spawn with fresh request state, but the fault
@@ -12,10 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dispatch/dispatcher.h"
+#include "sim/scenario.h"
 #include "sim/workload.h"
 #include "util/random.h"
 
@@ -24,6 +35,9 @@ namespace structride {
 struct SimulationOptions {
   double batch_period = 5;
   uint64_t seed = 1;
+  /// Dataset label stamped onto RunMetrics::dataset by the engine, so every
+  /// bench row is labeled without each caller remembering to.
+  std::string dataset;
   /// Vehicle-capacity distribution N(capacity_mean, capacity_sigma),
   /// clamped to >= 1 (Appendix C); sigma 0 keeps the SpawnFleet capacity.
   double capacity_sigma = 0;
@@ -38,7 +52,9 @@ struct SimulationOptions {
 /// both cancelled and passed the pickup deadline within one batch period,
 /// whichever event came *first* decides — a rider who walked away at t=10
 /// against a deadline of t=50 cancelled, no matter how late the batch that
-/// notices is.
+/// notices is. The event engine reproduces this rule structurally: the
+/// cancellation event type orders ahead of the expiry event type at equal
+/// timestamps (sim/event_queue.h).
 enum class RiderOutcome { kOpen, kExpired, kCancelled };
 
 RiderOutcome ClassifyRider(double now, double latest_pickup,
@@ -57,27 +73,66 @@ struct RunMetrics {
   int served = 0;
   int cancelled = 0;
   int total_requests = 0;
+  // Per-rider service quality over the served riders (0 when none served):
+  double pickup_wait_p50 = 0;     ///< median pickup - release wait
+  double pickup_wait_p99 = 0;     ///< nearest-rank p99 pickup wait
+  double mean_detour_ratio = 0;   ///< mean (dropoff - pickup) / direct_cost
+  /// Committed dropoffs that missed their deadline. CommitSchedule enforces
+  /// deadlines at commit time and arrivals are fixed thereafter, so this is
+  /// 0 by construction — tests pin it as the repositioning invariant.
+  int late_dropoffs = 0;
+  // Repositioning (0 unless a policy is installed):
+  int repositions = 0;          ///< completed empty relocation legs
+  double reposition_cost = 0;   ///< their travel cost (inside travel_cost)
 };
 
 class SimulationEngine {
  public:
   SimulationEngine(TravelCostEngine* engine, std::vector<Request> requests,
                    SimulationOptions options);
+  ~SimulationEngine();
 
   /// Draws spawn positions (seeded) for \p num_vehicles vehicles with
   /// \p capacity seats each. Call once before Run.
   void SpawnFleet(int num_vehicles, int capacity);
 
-  /// Replays the whole stream under the named dispatcher.
+  /// Installs a scenario; OnInstall runs at the start of every Run, in
+  /// installation order. Scenarios persist across Runs on this engine.
+  void AddScenario(std::unique_ptr<Scenario> scenario);
+  void ClearScenarios();
+
+  /// Installs the idle-vehicle repositioning hook (null = off, the
+  /// default). The policy runs after every dispatch round.
+  void SetRepositioningPolicy(std::unique_ptr<RepositioningPolicy> policy);
+
+  /// Replays the whole stream under the named dispatcher on the
+  /// event-driven core, honouring installed scenarios and the
+  /// repositioning policy.
   RunMetrics Run(const std::string& algorithm, const DispatchConfig& config);
 
+  /// The frozen fixed-batch loop the event core must reproduce bitwise
+  /// (served / costs / sp_queries / memory / service-quality stats) when no
+  /// scenarios are installed. Ignores scenarios and repositioning. Kept as
+  /// the equivalence reference; prefer Run().
+  RunMetrics RunLegacy(const std::string& algorithm,
+                       const DispatchConfig& config);
+
  private:
+  class EventRun;  // the per-run event-core state machine (engine.cc)
+
+  std::vector<Vehicle> BuildFleet();
+  /// Per-request cancellation delay after release (+inf = never cancels);
+  /// consumes run_rng_ exactly like the legacy draw loop did.
+  std::vector<double> DrawCancelOffsets();
+
   TravelCostEngine* engine_;
   std::vector<Request> requests_;  ///< sorted by release time
   SimulationOptions options_;
   std::vector<NodeId> spawn_nodes_;
   int spawn_capacity_ = 0;
   Rng run_rng_;  ///< fault-model draws; advances across runs (see header)
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+  std::unique_ptr<RepositioningPolicy> repositioning_;
 };
 
 }  // namespace structride

@@ -1,0 +1,76 @@
+// The continuous-time event substrate of the simulation core: typed events
+// ordered by a binary heap. The type ordering at equal timestamps is load-
+// bearing — it encodes the legacy fixed-batch engine's inclusive/exclusive
+// comparisons exactly, which is what makes the event engine's no-scenario
+// replay bitwise identical to the frozen batch loop (DESIGN.md §6):
+//
+//   scenario events            fire FIRST at their timestamp, so a state
+//       change at time T (dispatch-mode switch, downtime) already covers
+//       releases and ticks at exactly T. Irrelevant to the equivalence
+//       guarantee: with no scenarios installed none exist.
+//   release / stop completion  fire BEFORE a same-time batch tick
+//       (legacy: `release_time <= now` and `arrival <= now` are inclusive)
+//   cancellation / expiry      fire AFTER a same-time batch tick
+//       (legacy: `cancel_time < now` and `now > latest_pickup` are strict),
+//       with cancellation ahead of expiry so a rider whose cancellation and
+//       deadline coincide counts as cancelled (ClassifyRider's tie rule).
+//
+// Ties within one (time, type) bucket pop in push order (FIFO), so request
+// releases with equal timestamps keep their release-sorted order.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace structride {
+
+enum class EventType : uint8_t {
+  kScenario = 0,
+  kRequestRelease = 1,
+  kStopCompletion = 2,  ///< vehicle stop or reposition arrival
+  kBatchTick = 3,
+  kRiderCancellation = 4,
+  kRiderExpiry = 5,
+};
+
+struct Event {
+  double time = 0;
+  EventType type = EventType::kBatchTick;
+  /// Payload: request index (release/cancellation/expiry), fleet index
+  /// (stop completion) or scenario index (scenario events).
+  int64_t a = 0;
+  /// Payload: vehicle epoch (stop completion — stale events are dropped
+  /// when the vehicle's committed timeline changed) or scenario tag.
+  int64_t b = 0;
+};
+
+/// Min-heap over (time, type, insertion order). Hand-rolled so the tie
+/// discipline above is explicit and testable rather than an accident of a
+/// comparator wrapped in std::priority_queue.
+class EventQueue {
+ public:
+  void Push(const Event& event);
+  /// SR_CHECK-fails when empty.
+  const Event& Top() const;
+  Event Pop();
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void Clear();
+
+ private:
+  struct Entry {
+    Event event;
+    uint64_t seq = 0;
+  };
+  static bool Before(const Entry& x, const Entry& y);
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace structride

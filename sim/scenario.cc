@@ -1,0 +1,182 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace structride {
+
+namespace {
+
+class DemandSurgeScenario : public Scenario {
+ public:
+  DemandSurgeScenario(double begin, double end, double factor)
+      : begin_(begin), end_(end), factor_(factor) {
+    SR_CHECK(end_ > begin_);
+    SR_CHECK(factor_ > 0);
+  }
+
+  const char* name() const override { return "demand_surge"; }
+
+  void OnInstall(ScenarioHost* host) override {
+    host->RetimeWindow(begin_, end_, factor_);
+  }
+
+  void OnEvent(ScenarioHost*, int64_t) override {}
+
+ private:
+  double begin_;
+  double end_;
+  double factor_;
+};
+
+class VehicleDowntimeScenario : public Scenario {
+ public:
+  VehicleDowntimeScenario(double start, double duration, double fraction)
+      : start_(start), duration_(duration), fraction_(fraction) {
+    SR_CHECK(start_ >= 0);
+    SR_CHECK(duration_ > 0);
+    SR_CHECK(fraction_ > 0 && fraction_ <= 1);
+  }
+
+  const char* name() const override { return "vehicle_downtime"; }
+
+  void OnInstall(ScenarioHost* host) override {
+    pulled_ = 0;  // per-run state: OnInstall is the reset point
+    host->ScheduleAt(start_, kPullTag);
+    if (std::isfinite(duration_)) {
+      host->ScheduleAt(start_ + duration_, kRestoreTag);
+    }
+  }
+
+  void OnEvent(ScenarioHost* host, int64_t tag) override {
+    if (tag == kPullTag) {
+      int want = std::max(
+          1, static_cast<int>(fraction_ *
+                              static_cast<double>(host->fleet().size())));
+      pulled_ = host->PullVehicles(want);
+    } else if (tag == kRestoreTag) {
+      host->RestoreVehicles(pulled_);
+      pulled_ = 0;
+    }
+  }
+
+ private:
+  static constexpr int64_t kPullTag = 0;
+  static constexpr int64_t kRestoreTag = 1;
+  double start_;
+  double duration_;
+  double fraction_;
+  int pulled_ = 0;
+};
+
+class DispatchModeSwitchScenario : public Scenario {
+ public:
+  DispatchModeSwitchScenario(double on_time, double off_time)
+      : on_time_(on_time), off_time_(off_time) {
+    SR_CHECK(on_time_ >= 0);
+    SR_CHECK(off_time_ > on_time_);
+  }
+
+  const char* name() const override { return "dispatch_mode_switch"; }
+
+  void OnInstall(ScenarioHost* host) override {
+    host->ScheduleAt(on_time_, 1);
+    if (std::isfinite(off_time_)) host->ScheduleAt(off_time_, 0);
+  }
+
+  void OnEvent(ScenarioHost* host, int64_t tag) override {
+    host->SetOnlineDispatch(tag != 0);
+  }
+
+ private:
+  double on_time_;
+  double off_time_;
+};
+
+class GreedyCentroidRepositioning : public RepositioningPolicy {
+ public:
+  explicit GreedyCentroidRepositioning(GreedyRepositioningOptions options)
+      : options_(options) {}
+
+  const char* name() const override { return "greedy_centroid"; }
+
+  void Propose(const RepositioningContext& ctx,
+               std::vector<RepositionMove>* moves) override {
+    const std::vector<const Request*>& open = *ctx.open;
+    if (open.empty() || options_.max_moves_per_round == 0) return;
+
+    Point centroid{0, 0};
+    for (const Request* r : open) {
+      Point p = ctx.net->position(r->source);
+      centroid.x += p.x;
+      centroid.y += p.y;
+    }
+    centroid.x /= static_cast<double>(open.size());
+    centroid.y /= static_cast<double>(open.size());
+
+    // The round's target: the open pickup node nearest the centroid (tie:
+    // smaller node id), so vehicles head for real demand, not a street-less
+    // mean point.
+    NodeId target = open.front()->source;
+    double best = std::numeric_limits<double>::infinity();
+    for (const Request* r : open) {
+      double d = EuclidDistance(ctx.net->position(r->source), centroid);
+      if (d < best || (d == best && r->source < target)) {
+        best = d;
+        target = r->source;
+      }
+    }
+
+    // Farthest-from-centroid idle vehicles move first: they contribute the
+    // least where they stand. Deterministic order: distance descending,
+    // fleet index ascending on ties.
+    std::vector<std::pair<double, size_t>> idle;
+    const std::vector<Vehicle>& fleet = *ctx.fleet;
+    for (size_t vi = 0; vi < fleet.size(); ++vi) {
+      const Vehicle& v = fleet[vi];
+      if (!v.in_service() || !v.idle() || v.repositioning()) continue;
+      if (v.node() == target) continue;
+      double d = EuclidDistance(ctx.net->position(v.node()), centroid);
+      if (d <= options_.min_move_distance) continue;
+      idle.emplace_back(-d, vi);
+    }
+    std::sort(idle.begin(), idle.end());
+    if (idle.size() > options_.max_moves_per_round) {
+      idle.resize(options_.max_moves_per_round);
+    }
+    for (const auto& [neg_dist, vi] : idle) {
+      (void)neg_dist;
+      moves->push_back({vi, target});
+    }
+  }
+
+ private:
+  GreedyRepositioningOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> MakeDemandSurge(double begin, double end,
+                                          double factor) {
+  return std::make_unique<DemandSurgeScenario>(begin, end, factor);
+}
+
+std::unique_ptr<Scenario> MakeVehicleDowntime(double start, double duration,
+                                              double fraction) {
+  return std::make_unique<VehicleDowntimeScenario>(start, duration, fraction);
+}
+
+std::unique_ptr<Scenario> MakeDispatchModeSwitch(double on_time,
+                                                 double off_time) {
+  return std::make_unique<DispatchModeSwitchScenario>(on_time, off_time);
+}
+
+std::unique_ptr<RepositioningPolicy> MakeGreedyCentroidRepositioning(
+    GreedyRepositioningOptions options) {
+  return std::make_unique<GreedyCentroidRepositioning>(options);
+}
+
+}  // namespace structride

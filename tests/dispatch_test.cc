@@ -157,7 +157,9 @@ TEST(DispatchTest, SpatialIndexPreservesOutcomeAndQueries) {
 
 // Exactness of the index itself: KNearest must reproduce the first k
 // entries of the full distance sort (ties broken by vehicle index), and the
-// radius query the early-breaking prefix.
+// radius query the early-breaking prefix. A third of the fleet is out of
+// service (scenario downtime) — both sides of the contract must skip those
+// vehicles identically.
 TEST(DispatchTest, SpatialIndexMatchesFullFleetSort) {
   CityOptions copt;
   copt.rows = 12;
@@ -170,6 +172,7 @@ TEST(DispatchTest, SpatialIndexMatchesFullFleetSort) {
     NodeId node = static_cast<NodeId>(
         rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
     fleet.emplace_back(i, node, 4);  // duplicate positions exercise ties
+    if (i % 3 == 0) fleet.back().set_in_service(false);
   }
   dispatch::FleetSpatialIndex index(fleet, net);
   for (int trial = 0; trial < 30; ++trial) {

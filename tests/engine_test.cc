@@ -1,0 +1,382 @@
+// The event-core contract (DESIGN.md §6):
+//  1. With no scenarios and no repositioning policy, the event-driven
+//     Run() reproduces the frozen fixed-batch RunLegacy() bitwise — across
+//     the three dataset presets, multiple seeds, 1 and 8 worker threads,
+//     and with the fault models (cancellation, capacity variance) active.
+//  2. Scenario runs are deterministic under a fixed seed.
+//  3. The repositioning hook never violates capacity or deadlines (late
+//     dropoffs stay impossible) and its legs are charged to travel cost.
+//  4. The EventQueue pops (time, type, FIFO) — the tie discipline the
+//     batch-tick equivalence rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/datasets.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+#include "sim/scenario.h"
+#include "sim/workload.h"
+
+namespace structride {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A preset shrunk to unit-test size: the city is cut down (like the
+// dispatch tests' TinyChd) while the preset's workload shape survives.
+struct TinyPreset {
+  explicit TinyPreset(const std::string& name) : spec(DatasetByName(name, 0.02)) {
+    const int side = name == "CHD" ? 16 : (name == "NYC" ? 18 : 14);
+    spec.city.rows = side;
+    spec.city.cols = side;
+    net = BuildNetwork(&spec);
+    engine = std::make_unique<TravelCostEngine>(net);
+    requests = GenerateWorkload(net, engine.get(), spec.policy, spec.workload);
+  }
+
+  DispatchConfig Config(int threads = 1) const {
+    DispatchConfig config;
+    config.vehicle_capacity = spec.capacity;
+    config.grouping.max_group_size = spec.capacity;
+    config.sharegraph.vehicle_capacity = spec.capacity;
+    if (threads > 1) {
+      config.sard_parallel_acceptance = true;
+      config.num_threads = threads;
+    }
+    return config;
+  }
+
+  SimulationOptions Options(uint64_t seed = 4242) const {
+    SimulationOptions sopts;
+    sopts.batch_period = 5;
+    sopts.seed = seed;
+    sopts.dataset = spec.name;
+    return sopts;
+  }
+
+  // A fresh engine per run: the fault-model RNG advances across runs, so
+  // bitwise comparisons need identical draw streams.
+  std::unique_ptr<SimulationEngine> MakeEngine(const SimulationOptions& sopts) {
+    auto sim = std::make_unique<SimulationEngine>(engine.get(), requests, sopts);
+    sim->SpawnFleet(std::max(3, spec.num_vehicles), spec.capacity);
+    return sim;
+  }
+
+  DatasetSpec spec;
+  RoadNetwork net;
+  std::unique_ptr<TravelCostEngine> engine;
+  std::vector<Request> requests;
+};
+
+void ExpectBitwiseEqual(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.cancelled, b.cancelled);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.unified_cost, b.unified_cost);  // bitwise, not approximate
+  EXPECT_EQ(a.travel_cost, b.travel_cost);
+  EXPECT_EQ(a.penalty_cost, b.penalty_cost);
+  EXPECT_EQ(a.service_rate, b.service_rate);
+  EXPECT_EQ(a.sp_queries, b.sp_queries);
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
+  EXPECT_EQ(a.late_dropoffs, b.late_dropoffs);
+  EXPECT_EQ(a.pickup_wait_p50, b.pickup_wait_p50);
+  EXPECT_EQ(a.pickup_wait_p99, b.pickup_wait_p99);
+  EXPECT_EQ(a.mean_detour_ratio, b.mean_detour_ratio);
+  EXPECT_EQ(a.repositions, b.repositions);
+  EXPECT_EQ(a.reposition_cost, b.reposition_cost);
+  EXPECT_EQ(a.dataset, b.dataset);
+}
+
+// Contract 1: the acceptance bar of the event-core rewrite. Every preset,
+// two seeds, 1 and 8 worker threads (SARD's parallel acceptance path).
+// Each run gets its own fixture — a fresh, cold travel-cost cache — so
+// sp_queries compares the actual backend work, not cache state.
+TEST(EngineTest, EventEngineMatchesLegacyBitwise) {
+  for (const std::string& ds :
+       {std::string("CHD"), std::string("NYC"), std::string("Cainiao")}) {
+    for (uint64_t seed : {uint64_t{4242}, uint64_t{777}}) {
+      for (int threads : {1, 8}) {
+        SCOPED_TRACE(ds + " seed=" + std::to_string(seed) +
+                     " threads=" + std::to_string(threads));
+        TinyPreset ev(ds), lg(ds);
+        RunMetrics event =
+            ev.MakeEngine(ev.Options(seed))->Run("SARD", ev.Config(threads));
+        RunMetrics legacy = lg.MakeEngine(lg.Options(seed))
+                                ->RunLegacy("SARD", lg.Config(threads));
+        ExpectBitwiseEqual(event, legacy);
+        EXPECT_EQ(event.dataset, ds);  // stamped by the engine, not callers
+      }
+    }
+  }
+}
+
+// The equivalence is per-dispatcher-roster, not a SARD artifact: online
+// methods (reject immediately) and batch methods (hold requests across
+// rounds) replay identically too.
+TEST(EngineTest, EventEngineMatchesLegacyAcrossDispatcherKinds) {
+  for (const std::string& algo :
+       {std::string("pruneGDP"), std::string("GAS"), std::string("RTV"),
+        std::string("TicketAssign+"), std::string("DARM+DPRS")}) {
+    SCOPED_TRACE(algo);
+    TinyPreset ev("CHD"), lg("CHD");
+    RunMetrics event = ev.MakeEngine(ev.Options())->Run(algo, ev.Config());
+    RunMetrics legacy =
+        lg.MakeEngine(lg.Options())->RunLegacy(algo, lg.Config());
+    ExpectBitwiseEqual(event, legacy);
+  }
+}
+
+// Fault models ride on events now (cancellations fire at their own
+// timestamps, capacities draw per run) — still bitwise against the legacy
+// per-tick ClassifyRider pass.
+TEST(EngineTest, EventEngineMatchesLegacyUnderFaultModels) {
+  TinyPreset ev("CHD"), lg("CHD");
+  auto fault_options = [](const TinyPreset& p) {
+    SimulationOptions sopts = p.Options();
+    sopts.cancellation_rate = 0.4;
+    sopts.cancellation_patience = 15;
+    sopts.capacity_sigma = 1.0;
+    sopts.capacity_mean = p.spec.capacity;
+    return sopts;
+  };
+  RunMetrics event =
+      ev.MakeEngine(fault_options(ev))->Run("SARD", ev.Config());
+  RunMetrics legacy =
+      lg.MakeEngine(fault_options(lg))->RunLegacy("SARD", lg.Config());
+  ExpectBitwiseEqual(event, legacy);
+  EXPECT_GT(event.cancelled, 0);  // the fault model actually fired
+}
+
+// Contract 2: a fixed scenario stack under a fixed seed reproduces exactly
+// (fresh fixture per run: cold caches make sp_queries comparable).
+TEST(EngineTest, ScenarioRunsAreDeterministic) {
+  auto run_once = [&]() {
+    TinyPreset preset("NYC");
+    const double d = preset.spec.workload.duration;
+    SimulationOptions sopts = preset.Options();
+    auto sim = preset.MakeEngine(sopts);
+    sim->AddScenario(MakeDemandSurge(0.25 * d, 0.5 * d, 3.0));
+    sim->AddScenario(MakeVehicleDowntime(0.3 * d, 0.3 * d, 0.5));
+    sim->AddScenario(MakeDispatchModeSwitch(0.5 * d, kInf));
+    sim->SetRepositioningPolicy(MakeGreedyCentroidRepositioning());
+    return sim->Run("SARD", preset.Config());
+  };
+  RunMetrics a = run_once();
+  RunMetrics b = run_once();
+  ExpectBitwiseEqual(a, b);
+  EXPECT_EQ(a.reposition_cost, b.reposition_cost);
+  EXPECT_GE(a.served, 0);
+  EXPECT_LE(a.served, a.total_requests);
+  EXPECT_EQ(a.late_dropoffs, 0);
+}
+
+// Downtime semantics: pulling the whole fleet before anything is released
+// and never restoring it means nobody is ever served — and the unified
+// cost degenerates to the full penalty sum.
+TEST(EngineTest, FullDowntimeServesNothing) {
+  TinyPreset preset("CHD");
+  SimulationOptions sopts = preset.Options();
+  auto sim = preset.MakeEngine(sopts);
+  sim->AddScenario(MakeVehicleDowntime(0, kInf, 1.0));
+  DispatchConfig config = preset.Config();
+  RunMetrics m = sim->Run("SARD", config);
+  EXPECT_EQ(m.served, 0);
+  EXPECT_EQ(m.travel_cost, 0);
+  double full_penalty = 0;
+  for (const Request& r : preset.requests) {
+    full_penalty += config.penalty_coefficient * r.direct_cost;
+  }
+  EXPECT_DOUBLE_EQ(m.unified_cost, full_penalty);
+}
+
+// Dispatch-mode switch: with a batch period longer than every deadline, the
+// pure batch engine can't serve anyone (requests expire before the first
+// tick), while per-request online dispatch still can.
+TEST(EngineTest, OnlineDispatchServesWhatBatchTicksMiss) {
+  TinyPreset preset("CHD");
+  SimulationOptions sopts = preset.Options();
+  sopts.batch_period = 10 * preset.spec.workload.duration;
+  RunMetrics batch =
+      preset.MakeEngine(sopts)->Run("pruneGDP", preset.Config());
+  EXPECT_EQ(batch.served, 0);
+
+  auto online_sim = preset.MakeEngine(sopts);
+  online_sim->AddScenario(MakeDispatchModeSwitch(0, kInf));
+  RunMetrics online = online_sim->Run("pruneGDP", preset.Config());
+  EXPECT_GT(online.served, 0);
+}
+
+// Contract 3: repositioning must never break promises. Late dropoffs stay
+// impossible (CommitSchedule still gates every commit), completed legs are
+// counted and charged into travel cost, and the run stays deterministic.
+TEST(EngineTest, RepositioningKeepsInvariants) {
+  auto run_with_policy = [&](bool enabled) {
+    TinyPreset preset("Cainiao");
+    SimulationOptions sopts = preset.Options();
+    auto sim = preset.MakeEngine(sopts);
+    if (enabled) {
+      sim->SetRepositioningPolicy(MakeGreedyCentroidRepositioning());
+    }
+    return sim->Run("SARD", preset.Config());
+  };
+  RunMetrics off = run_with_policy(false);
+  RunMetrics on = run_with_policy(true);
+  EXPECT_EQ(off.repositions, 0);
+  EXPECT_EQ(off.reposition_cost, 0);
+  EXPECT_EQ(on.late_dropoffs, 0);
+  EXPECT_GE(on.reposition_cost, 0);
+  if (on.repositions > 0) {
+    EXPECT_GT(on.reposition_cost, 0);
+  }
+  // Relocation miles are inside travel_cost, so unified cost accounts them.
+  EXPECT_GE(on.travel_cost, on.reposition_cost);
+  RunMetrics again = run_with_policy(true);
+  ExpectBitwiseEqual(on, again);
+}
+
+// Out-of-service vehicles leave the candidate market in both scan paths;
+// the KNearest == prefix-of-full-sort contract must hold on the filtered
+// fleet too (exercised end-to-end by the downtime scenario above, pinned
+// here at the engine's default thread count via a spot check on metrics).
+TEST(EngineTest, DowntimeIsThreadCountInvariant) {
+  auto run_threads = [&](int threads) {
+    TinyPreset preset("CHD");
+    const double d = preset.spec.workload.duration;
+    SimulationOptions sopts = preset.Options();
+    auto sim = preset.MakeEngine(sopts);
+    sim->AddScenario(MakeVehicleDowntime(0.2 * d, 0.4 * d, 0.5));
+    return sim->Run("SARD", preset.Config(threads));
+  };
+  RunMetrics one = run_threads(1);
+  RunMetrics eight = run_threads(8);
+  ExpectBitwiseEqual(one, eight);
+}
+
+// An unreachable reposition target (disconnected component, Cost = +inf)
+// must be refused outright — an infinite leg would never complete mid-run
+// and would charge +inf into travel_cost at the end-of-run drain.
+TEST(EngineTest, RepositionToUnreachableTargetIsRefused) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  net.AddNode({5, 0});  // own component: no edges to it
+  net.AddEdge(0, 1, 1.0);
+  TravelCostEngine engine(net);
+  Vehicle v(0, 0, 4);
+  EXPECT_FALSE(v.BeginReposition(2, 0, &engine));
+  EXPECT_FALSE(v.repositioning());
+  EXPECT_TRUE(v.BeginReposition(1, 0, &engine));
+  EXPECT_TRUE(v.repositioning());
+}
+
+namespace {
+
+// Records which vehicles are in service at a chosen time.
+class FleetProbeScenario : public Scenario {
+ public:
+  FleetProbeScenario(double when, std::vector<bool>* out)
+      : when_(when), out_(out) {}
+  const char* name() const override { return "fleet_probe"; }
+  void OnInstall(ScenarioHost* host) override { host->ScheduleAt(when_, 0); }
+  void OnEvent(ScenarioHost* host, int64_t) override {
+    out_->clear();
+    for (const Vehicle& v : host->fleet()) out_->push_back(v.in_service());
+  }
+
+ private:
+  double when_;
+  std::vector<bool>* out_;
+};
+
+}  // namespace
+
+// Overlapping downtime windows: each scenario must restore the vehicles it
+// pulled, never another scenario's. A pulls vehicle 0 at t=10 and restores
+// at t=40; B pulls vehicle 1 at t=20 permanently. At t=100 vehicle 0 must
+// be back and vehicle 1 still out (a shared LIFO would swap them).
+TEST(EngineTest, OverlappingDowntimesRestoreTheirOwnVehicles) {
+  TinyPreset preset("CHD");
+  SimulationOptions sopts;
+  sopts.batch_period = 200;  // first tick after every scenario event
+  sopts.seed = 4242;
+  SimulationEngine sim(preset.engine.get(), {}, sopts);  // empty stream
+  sim.SpawnFleet(4, 2);
+  sim.AddScenario(MakeVehicleDowntime(10, 30, 0.01));   // pulls 1, restores
+  sim.AddScenario(MakeVehicleDowntime(20, kInf, 0.01));  // pulls 1, keeps it
+  std::vector<bool> in_service;
+  sim.AddScenario(std::make_unique<FleetProbeScenario>(100, &in_service));
+  DispatchConfig config;
+  sim.Run("SARD", config);
+  ASSERT_EQ(in_service.size(), 4u);
+  EXPECT_TRUE(in_service[0]);   // pulled by A, restored by A
+  EXPECT_FALSE(in_service[1]);  // pulled by B, still off duty
+  EXPECT_TRUE(in_service[2]);
+  EXPECT_TRUE(in_service[3]);
+}
+
+// Contract 4: the queue's tie discipline. Same time: scenario < release <
+// stop completion < tick < cancellation < expiry; within one bucket, FIFO.
+TEST(EventQueueTest, PopsTimeThenTypeThenFifo) {
+  EventQueue q;
+  q.Push({5, EventType::kRiderExpiry, 0, 0});
+  q.Push({5, EventType::kBatchTick, 1, 0});
+  q.Push({5, EventType::kRequestRelease, 2, 0});
+  q.Push({5, EventType::kRequestRelease, 3, 0});
+  q.Push({5, EventType::kRiderCancellation, 4, 0});
+  q.Push({5, EventType::kStopCompletion, 5, 0});
+  q.Push({5, EventType::kScenario, 6, 0});
+  q.Push({1, EventType::kRiderExpiry, 7, 0});
+
+  std::vector<int64_t> got;
+  while (!q.empty()) got.push_back(q.Pop().a);
+  EXPECT_EQ(got, (std::vector<int64_t>{7, 6, 2, 3, 5, 1, 4, 0}));
+}
+
+// A state change scheduled at exactly a release's timestamp covers that
+// release: the mode switch at T fires before the release at T, so the
+// rider gets an online round even when batch ticks alone would be too late.
+TEST(EngineTest2, ModeSwitchCoversSameTimeRelease) {
+  TinyPreset preset("CHD");
+  Request r;
+  r.id = 0;
+  r.source = 0;
+  r.destination = static_cast<NodeId>(preset.net.num_nodes() - 1);
+  r.release_time = 3;
+  r.direct_cost = preset.engine->Cost(r.source, r.destination);
+  r.deadline = r.release_time + 2 * r.direct_cost;
+  r.latest_pickup = r.deadline - r.direct_cost;
+
+  SimulationOptions sopts;
+  sopts.batch_period = 1e6;  // ticks alone would let the request expire
+  sopts.seed = 4242;
+  SimulationEngine sim(preset.engine.get(), {r}, sopts);
+  sim.SpawnFleet(3, 2);
+  sim.AddScenario(MakeDispatchModeSwitch(r.release_time, kInf));
+  DispatchConfig config;
+  RunMetrics m = sim.Run("pruneGDP", config);
+  EXPECT_EQ(m.served, 1);
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsHeapOrder) {
+  EventQueue q;
+  for (int i = 0; i < 50; ++i) {
+    q.Push({static_cast<double>((i * 37) % 13), EventType::kBatchTick, i, 0});
+    if (i % 3 == 2) q.Pop();
+  }
+  double last = -1;
+  while (!q.empty()) {
+    double t = q.Top().time;
+    EXPECT_GE(t, last);
+    last = t;
+    q.Pop();
+  }
+}
+
+}  // namespace
+}  // namespace structride
