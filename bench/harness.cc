@@ -48,20 +48,6 @@ JsonState& GlobalJsonState() {
   return state;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
 std::string BinaryName() {
 #ifdef __GLIBC__
   return program_invocation_short_name;
@@ -88,7 +74,7 @@ void WriteJsonAtExit() {
                                     g_process_start)
           .count();
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_time_s\": %.3f,\n",
-               name.c_str(), wall);
+               JsonEscape(name).c_str(), wall);
   std::fprintf(f, "  \"scale\": %g,\n  \"rows\": [\n", BenchScale());
   for (size_t i = 0; i < state.rows.size(); ++i) {
     const JsonRow& r = state.rows[i];
@@ -98,7 +84,8 @@ void WriteJsonAtExit() {
         "    {\"series\": \"%s\", \"point\": \"%s\", \"dataset\": \"%s\", "
         "\"algorithm\": \"%s\", \"unified_cost\": %.6f, \"travel_cost\": "
         "%.6f, \"penalty_cost\": %.6f, \"service_rate\": %.6f, "
-        "\"running_time_s\": %.6f, \"sp_queries\": %llu, \"memory_bytes\": "
+        "\"running_time_s\": %.6f, \"sp_queries\": %llu, "
+        "\"sharegraph_pair_checks\": %llu, \"memory_bytes\": "
         "%zu, \"served\": %d, \"cancelled\": %d, \"total_requests\": %d, "
         "\"pickup_wait_p50\": %.6f, \"pickup_wait_p99\": %.6f, "
         "\"mean_detour_ratio\": %.6f, \"late_dropoffs\": %d, "
@@ -107,6 +94,7 @@ void WriteJsonAtExit() {
         JsonEscape(m.dataset).c_str(), JsonEscape(m.algorithm).c_str(),
         m.unified_cost, m.travel_cost, m.penalty_cost, m.service_rate,
         m.running_time, static_cast<unsigned long long>(m.sp_queries),
+        static_cast<unsigned long long>(m.sharegraph_pair_checks),
         m.memory_bytes, m.served, m.cancelled, m.total_requests,
         m.pickup_wait_p50, m.pickup_wait_p99, m.mean_detour_ratio,
         m.late_dropoffs, m.repositions, m.reposition_cost,
@@ -136,6 +124,46 @@ void RegisterJsonAtExit(JsonState* state) {
 }
 
 }  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 void RecordJsonRow(const std::string& series, const std::string& point,
                    const RunMetrics& metrics) {

@@ -62,6 +62,12 @@ class BenchContext {
 /// \brief Env-var scale (STRUCTRIDE_SCALE, default 0.25).
 double BenchScale();
 
+/// \brief Escapes \p s for embedding inside a JSON string literal: quotes,
+/// backslashes, the named control escapes (\b \f \n \r \t) and \u00XX for
+/// every other byte below 0x20. Dataset/bench/series names flow into
+/// BENCH_*.json verbatim otherwise, and one quote would corrupt the file.
+std::string JsonEscape(const std::string& s);
+
 /// \brief Machine-readable results: rows accumulate in-process and are
 /// written to $STRUCTRIDE_JSON_DIR/BENCH_<binary>.json at exit — one row per
 /// (series, point) with the full RunMetrics plus the bench's wall time. A

@@ -26,7 +26,8 @@ fig8_vary_vehicles fig9_vary_requests fig10_vary_deadline
 fig11_vary_capacity fig12_vary_penalty fig13_vary_batch fig14_memory
 fig15_cainiao fig16_capacity_sigma fig17_vary_sigma
 table5_angle_pruning_cainiao table6_angle_pruning
-abl_cancellations abl_parallel_scaling abl_scenarios abl_proposal_order
+abl_cancellations abl_incremental_sharegraph abl_parallel_scaling
+abl_scenarios abl_proposal_order
 abl_angle_expectation abl_insertion_order abl_structure_metrics
 "
 MICRO_BENCHES="

@@ -1,7 +1,9 @@
 // The batch comparison methods.
 //
-//  - GAS: per-batch shareability graph, best-of-all-parents group
-//    enumeration per vehicle, then a cost-per-rider greedy assignment.
+//  - GAS: shareability graph over the open pool (the run's incrementally
+//    maintained graph when the engine provides one, rebuilt per batch on
+//    the frozen reference path), best-of-all-parents group enumeration per
+//    vehicle, then a cost-per-rider greedy assignment.
 //  - RTV: the request-trip-vehicle pipeline — the same enumeration but
 //    exhaustive up to the ILP node cap, with every trip materialized (the
 //    memory hog of Fig. 14) and an anytime assignment: penalty-folded
@@ -30,9 +32,39 @@ bool OrderCandidates(const TripCandidate& a, const TripCandidate& b,
   return a.group.members < b.group.members;
 }
 
-class GasDispatcher : public Dispatcher {
- public:
+// Shared base of the two graph-consuming batch methods: picks the round's
+// share graph and keeps the pair-check books.
+class GraphBatchDispatcher : public Dispatcher {
+ protected:
   using Dispatcher::Dispatcher;
+
+  // The share graph for one round: the engine-maintained incremental
+  // builder when the run provides one (closed requests already retired by
+  // lifecycle events; only the fresh slice is folded in here), else
+  // \p local after a from-scratch rebuild over the whole pool — the frozen
+  // reference path behind DispatchConfig::incremental_sharegraph
+  // (DESIGN.md §7). Both paths yield the identical graph over the open
+  // set; the incremental one just skips re-checking every pair that
+  // already ran in an earlier round. Accounting follows the builder's
+  // lifetime: a persistent builder's running total is adopted, a per-batch
+  // throwaway's is accumulated.
+  ShareGraphBuilder* RoundShareGraph(DispatchContext* ctx,
+                                     const std::vector<Request>& pool,
+                                     ShareGraphBuilder* local) {
+    if (ctx->sharegraph != nullptr) {
+      ctx->sharegraph->SyncToPending(ctx->pending);
+      SetPairChecks(ctx->sharegraph->pair_checks());
+      return ctx->sharegraph;
+    }
+    local->AddBatch(pool);
+    AddPairChecks(local->pair_checks());
+    return local;
+  }
+};
+
+class GasDispatcher : public GraphBatchDispatcher {
+ public:
+  using GraphBatchDispatcher::GraphBatchDispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
     std::vector<Vehicle>& fleet = *ctx->fleet;
@@ -41,8 +73,8 @@ class GasDispatcher : public Dispatcher {
     for (const Request* r : ctx->pending) pool.push_back(*r);
     if (pool.empty()) return;
 
-    ShareGraphBuilder builder(ctx->engine, config_.sharegraph);
-    builder.AddBatch(pool);
+    ShareGraphBuilder local(ctx->engine, config_.sharegraph);
+    ShareGraphBuilder* builder = RoundShareGraph(ctx, pool, &local);
 
     GroupingOptions gopts = config_.grouping;
     gopts.insertion_order = InsertionOrderPolicy::kBestOfAllParents;
@@ -55,13 +87,13 @@ class GasDispatcher : public Dispatcher {
       if (!fleet[vi].in_service()) continue;  // downtime: no new work
       GroupingResult res =
           EnumerateGroups(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
-                          pool, &builder.graph(), ctx->engine, gopts);
+                          pool, &builder->graph(), ctx->engine, gopts);
       grouping_bytes += GroupingMemoryBytes(res);
       for (CandidateGroup& g : res.groups) {
         candidates.push_back({vi, std::move(g)});
       }
     }
-    NotePeak(builder.MemoryBytes() + grouping_bytes +
+    NotePeak(builder->MemoryBytes() + grouping_bytes +
              candidates.size() * sizeof(TripCandidate));
 
     std::sort(candidates.begin(), candidates.end(),
@@ -97,9 +129,9 @@ class GasDispatcher : public Dispatcher {
   }
 };
 
-class RtvDispatcher : public Dispatcher {
+class RtvDispatcher : public GraphBatchDispatcher {
  public:
-  using Dispatcher::Dispatcher;
+  using GraphBatchDispatcher::GraphBatchDispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
     std::vector<Vehicle>& fleet = *ctx->fleet;
@@ -109,8 +141,8 @@ class RtvDispatcher : public Dispatcher {
     if (pool.empty()) return;
 
     // RR edges (the shareability graph) and per-vehicle trip enumeration.
-    ShareGraphBuilder builder(ctx->engine, config_.sharegraph);
-    builder.AddBatch(pool);
+    ShareGraphBuilder local(ctx->engine, config_.sharegraph);
+    ShareGraphBuilder* builder = RoundShareGraph(ctx, pool, &local);
 
     GroupingOptions gopts = config_.grouping;
     gopts.insertion_order = InsertionOrderPolicy::kBestOfAllParents;
@@ -123,7 +155,7 @@ class RtvDispatcher : public Dispatcher {
       gopts.max_groups = static_cast<size_t>(node_budget);
       GroupingResult res =
           EnumerateGroups(fleet[vi].route_state(ctx->now), fleet[vi].schedule(),
-                          pool, &builder.graph(), ctx->engine, gopts);
+                          pool, &builder->graph(), ctx->engine, gopts);
       node_budget -= static_cast<int64_t>(res.groups.size());
       for (CandidateGroup& g : res.groups) {
         trips.push_back({vi, std::move(g)});
@@ -134,7 +166,7 @@ class RtvDispatcher : public Dispatcher {
       trip_bytes += t.group.members.size() * sizeof(RequestId) +
                     t.group.schedule.size() * sizeof(Stop);
     }
-    NotePeak(builder.MemoryBytes() + trip_bytes);
+    NotePeak(builder->MemoryBytes() + trip_bytes);
 
     // The assignment objective folds the unassignment penalty in: picking a
     // trip saves penalty * sum(direct costs) against its extra travel.

@@ -43,6 +43,16 @@ struct DispatchConfig {
   /// by construction; `false` restores the legacy scan (the serial baseline
   /// `abl_parallel_scaling` measures against).
   bool use_spatial_index = true;
+  /// Maintain one share graph per run, incrementally: the engine owns a
+  /// ShareGraphBuilder, retires requests at assignment / cancellation /
+  /// expiry events, and hands it to every round via
+  /// DispatchContext::sharegraph; GAS, RTV and SARD fold only the fresh
+  /// slice in. `false` restores the frozen reference path — GAS/RTV rebuild
+  /// the graph from scratch over the whole pending pool each batch, SARD
+  /// keeps a private persistent builder — which the incremental path must
+  /// match on served / unified_cost / sp_queries and the graph edge set
+  /// (DESIGN.md §7; pinned by tests and abl_incremental_sharegraph).
+  bool incremental_sharegraph = true;
 };
 
 /// An empty relocation for an idle vehicle (the repositioning hook,
@@ -66,6 +76,15 @@ struct DispatchContext {
   /// event (the scenario-enabled online dispatch mode) rather than a batch
   /// tick. Batch methods may treat per-event rounds like tiny batches.
   bool online_event = false;
+  /// The run-scoped, incrementally maintained share-graph builder
+  /// (DESIGN.md §7), owned by the simulation engine when
+  /// DispatchConfig::incremental_sharegraph is on: closed requests have
+  /// already been retired by lifecycle events, so a dispatcher only syncs
+  /// the fresh slice in (ShareGraphBuilder::SyncToPending) and consumes the
+  /// graph. Null when the caller keeps no persistent graph (the frozen
+  /// legacy engine, hand-built contexts) — graph dispatchers then fall back
+  /// to their per-batch / private builders.
+  ShareGraphBuilder* sharegraph = nullptr;
   /// Outputs: requests assigned this round; requests the dispatcher gives up
   /// on permanently (online methods reject instead of queueing).
   std::vector<RequestId> assigned;
@@ -89,15 +108,26 @@ class Dispatcher {
   /// (DESIGN.md §4: the substitution for process-RSS measurement).
   size_t MemoryBytes() const { return peak_memory_; }
 
+  /// Exact share-graph pair feasibility evaluations this dispatcher has
+  /// spent so far (0 for methods that build no share graph). The engine
+  /// surfaces it as RunMetrics::sharegraph_pair_checks; the incremental
+  /// maintenance bench gates its ≥2x reduction on it.
+  uint64_t SharePairChecks() const { return share_pair_checks_; }
+
  protected:
   void NotePeak(size_t bytes) {
     if (bytes > peak_memory_) peak_memory_ = bytes;
   }
+  /// Accumulate checks from a per-batch throwaway builder.
+  void AddPairChecks(uint64_t delta) { share_pair_checks_ += delta; }
+  /// Adopt the running total of a persistent (run-scoped) builder.
+  void SetPairChecks(uint64_t total) { share_pair_checks_ = total; }
 
   DispatchConfig config_;
 
  private:
   size_t peak_memory_ = 0;
+  uint64_t share_pair_checks_ = 0;
 };
 
 /// The paper's dispatcher roster, in comparison order.

@@ -38,21 +38,23 @@ class SardDispatcher : public Dispatcher {
     if (ctx->pending.empty()) return;
 
     ThreadPool* pool = WorkerPool(ctx);
-    if (!builder_) {
-      builder_ = std::make_unique<ShareGraphBuilder>(ctx->engine,
-                                                     config_.sharegraph);
+    // The run's engine-maintained builder when provided (closed requests
+    // already retired by lifecycle events), else the private persistent
+    // builder — both paths then do the same delta sync: drop anything no
+    // longer pending, fold the fresh slice in, so the graph tracks the
+    // open set (DESIGN.md §7).
+    ShareGraphBuilder* builder = ctx->sharegraph;
+    if (builder == nullptr) {
+      if (!builder_) {
+        builder_ = std::make_unique<ShareGraphBuilder>(ctx->engine,
+                                                       config_.sharegraph);
+        builder_->set_memoize_pairs(true);  // persistent across batches
+      }
+      builder = builder_.get();
     }
-    builder_->set_pool(pool);
-    // Closed requests (assigned, expired, cancelled) leave the persistent
-    // graph before the new batch folds in, so the graph tracks the open set.
-    std::vector<RequestId> open_ids;
-    for (const Request* r : ctx->pending) open_ids.push_back(r->id);
-    builder_->Retain(open_ids);
-    std::vector<Request> fresh;
-    for (const Request* r : ctx->pending) {
-      if (!builder_->has_request(r->id)) fresh.push_back(*r);
-    }
-    builder_->AddBatch(fresh);
+    builder->set_pool(pool);
+    builder->SyncToPending(ctx->pending);
+    SetPairChecks(builder->pair_checks());
 
     // Induced subgraph over the open requests (assigned/expired nodes fall
     // out naturally because only pending ids are copied in).
@@ -63,7 +65,7 @@ class SardDispatcher : public Dispatcher {
       by_id[r->id] = r;
     }
     for (const Request* r : ctx->pending) {
-      for (RequestId nb : builder_->graph().Neighbors(r->id)) {
+      for (RequestId nb : builder->graph().Neighbors(r->id)) {
         if (nb > r->id && by_id.count(nb)) open.AddEdge(r->id, nb);
       }
     }
@@ -191,7 +193,7 @@ class SardDispatcher : public Dispatcher {
     for (const auto& plist : proposals) {
       proposal_bytes += plist.size() * sizeof(Proposal);
     }
-    NotePeak(builder_->MemoryBytes() + open.MemoryBytes() + proposal_bytes +
+    NotePeak(builder->MemoryBytes() + open.MemoryBytes() + proposal_bytes +
              scanner.MemoryBytes() +
              groups.size() * sizeof(std::vector<RequestId>));
   }
@@ -209,6 +211,8 @@ class SardDispatcher : public Dispatcher {
     return own_pool_.get();
   }
 
+  /// Fallback when the caller keeps no run-scoped builder (the frozen
+  /// legacy engine, hand-built contexts): SARD stays persistent either way.
   std::unique_ptr<ShareGraphBuilder> builder_;
   std::unique_ptr<ThreadPool> own_pool_;
 };

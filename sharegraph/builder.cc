@@ -22,6 +22,19 @@ constexpr int kJointOrders[4][4] = {
 
 }  // namespace
 
+ShareGraphBuilder::PairKey ShareGraphBuilder::MakeKey(RequestId a,
+                                                      RequestId b) {
+  return a < b ? PairKey{a, b} : PairKey{b, a};
+}
+
+size_t ShareGraphBuilder::PairKeyHasher::operator()(const PairKey& k) const {
+  // Boost-style combine over the two 64-bit halves.
+  size_t h = std::hash<RequestId>{}(k.lo);
+  h ^= std::hash<RequestId>{}(k.hi) + 0x9e3779b97f4a7c15ull + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
 template <typename Check>
 bool ShareGraphBuilder::AnyJointOrderFeasible(const Request& a,
                                               const Request& b,
@@ -49,6 +62,25 @@ bool ShareGraphBuilder::Shareable(const Request& a, const Request& b) const {
       });
 }
 
+bool ShareGraphBuilder::CheckedShareable(RequestId a, RequestId b) {
+  SR_CHECK(a != b);
+  auto it = memo_.find(MakeKey(a, b));
+  if (it != memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  bool shareable = Shareable(request(a), request(b));
+  ++pair_checks_;
+  RecordMemo(a, b, shareable);
+  return shareable;
+}
+
+void ShareGraphBuilder::RecordMemo(RequestId a, RequestId b, bool shareable) {
+  memo_[MakeKey(a, b)] = shareable;
+  memo_partners_[a].push_back(b);
+  memo_partners_[b].push_back(a);
+}
+
 bool ShareGraphBuilder::LowerBoundShareable(const Request& a,
                                             const Request& b) const {
   return AnyJointOrderFeasible(
@@ -68,39 +100,67 @@ bool ShareGraphBuilder::AngleWide(const Request& a, const Request& b) const {
          theta_ba >= options_.angle_threshold;
 }
 
-void ShareGraphBuilder::AddBatch(const std::vector<Request>& batch) {
-  size_t first_new = order_.size();
+void ShareGraphBuilder::AddRequests(const std::vector<Request>& batch) {
+  // graph_.Nodes() is the pairing order (see the member comment); reading
+  // it first settles any pending removal tombstones, so the node adds
+  // below are pure appends and the reference stays valid for the tasks.
+  const size_t first_new = graph_.Nodes().size();
   for (const Request& r : batch) {
     if (requests_.count(r.id)) continue;
     requests_[r.id] = r;
-    order_.push_back(r.id);
     graph_.AddNode(r.id);
   }
-  const size_t num_new = order_.size() - first_new;
+  const std::vector<RequestId>& order = graph_.Nodes();
+  const size_t num_new = order.size() - first_new;
   if (num_new == 0) return;
 
   // Phase 1 — evaluate pair feasibility, one task per new request against
-  // everything before it. Tasks only read builder state and write their own
-  // slot, and the pair checks are mutually independent, so running them on
-  // the pool changes neither the accepted edges nor the set of travel-cost
-  // pairs queried.
-  std::vector<std::vector<RequestId>> accepted(num_new);
+  // everything before it. Tasks only read builder state (the memo included —
+  // no writer runs concurrently) and write their own slot, and the pair
+  // checks are mutually independent, so running them on the pool changes
+  // neither the accepted edges nor the set of travel-cost pairs queried.
+  struct Verdict {
+    RequestId partner = 0;
+    bool shareable = false;
+    bool from_memo = false;
+  };
+  // Per task, verdicts in partner (insertion) order — memo answers and
+  // exact checks interleaved exactly where the serial loop would have
+  // produced them, so the committed adjacency sequence is independent of
+  // how each verdict was obtained.
+  std::vector<std::vector<Verdict>> verdicts(num_new);
   std::vector<uint64_t> pruned(num_new, 0);
   auto check_new_request = [&](size_t task) {
     const size_t i = first_new + task;
-    const Request& a = requests_.at(order_[i]);
+    const Request& a = requests_.at(order[i]);
+    std::vector<Verdict>& list = verdicts[task];
     // Free screens first (no shortest-path queries), collecting survivors.
     std::vector<const Request*> candidates;
+    std::vector<size_t> pending_slot;  // list index awaiting its exact check
     for (size_t j = 0; j < i; ++j) {
-      const Request& b = requests_.at(order_[j]);
+      const Request& b = requests_.at(order[j]);
       // Temporal screen: if one ride must end before the other exists, no
       // overlapping order can be feasible.
       if (a.release_time > b.deadline || b.release_time > a.deadline) continue;
+      // Per-lifetime memo: a pair already exact-checked while both requests
+      // were present answers for free. Never hits on the engine's event
+      // flow (a pair is presented once per lifetime by construction) —
+      // it guards re-presentations, e.g. hand-driven sync sequences. An
+      // empty memo (throwaway builders never record) skips the lookup.
+      if (!memo_.empty()) {
+        auto mt = memo_.find(MakeKey(a.id, b.id));
+        if (mt != memo_.end()) {
+          list.push_back({b.id, mt->second, /*from_memo=*/true});
+          continue;
+        }
+      }
       if (options_.use_angle_pruning && AngleWide(a, b) &&
           !LowerBoundShareable(a, b)) {
         ++pruned[task];
         continue;
       }
+      pending_slot.push_back(list.size());
+      list.push_back({b.id, false, /*from_memo=*/false});
       candidates.push_back(&b);
     }
     // Batched warm-up: every surviving pair reaches Shareable, whose first
@@ -127,8 +187,8 @@ void ShareGraphBuilder::AddBatch(const std::vector<Request>& batch) {
       engine_->CostMany(a.source, {pickups.data(), pickups.size()},
                         warmed.data());
     }
-    for (const Request* b : candidates) {
-      if (Shareable(a, *b)) accepted[task].push_back(b->id);
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      list[pending_slot[k]].shareable = Shareable(a, *candidates[k]);
     }
   };
   if (pool_ != nullptr && num_new > 1) {
@@ -137,28 +197,72 @@ void ShareGraphBuilder::AddBatch(const std::vector<Request>& batch) {
     for (size_t task = 0; task < num_new; ++task) check_new_request(task);
   }
 
-  // Phase 2 — commit serially in canonical order: edge lists come out in
-  // the exact sequence the serial loop would have produced.
+  // Phase 2 — commit serially in canonical order: edge lists and the memo
+  // come out in the exact sequence the serial loop would have produced.
   for (size_t task = 0; task < num_new; ++task) {
     pruned_pairs_ += pruned[task];
-    const RequestId a_id = order_[first_new + task];
-    for (RequestId b_id : accepted[task]) graph_.AddEdge(a_id, b_id);
+    const RequestId a_id = order[first_new + task];
+    for (const Verdict& v : verdicts[task]) {
+      if (v.from_memo) {
+        ++memo_hits_;
+      } else {
+        ++pair_checks_;
+        if (memoize_pairs_) RecordMemo(a_id, v.partner, v.shareable);
+      }
+      if (v.shareable) graph_.AddEdge(a_id, v.partner);
+    }
   }
+}
+
+void ShareGraphBuilder::RemoveRequest(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return;
+  // End of lifetime: purge the pair memo through the reverse partner index,
+  // both directions, so the index mirrors the memo exactly and the whole
+  // structure stays proportional to the live pair set (a request that
+  // outlives thousands of retired partners must not accumulate their ids).
+  // O(sum of the partners' memo degrees) — degree-bounded like the graph.
+  auto mp = memo_partners_.find(id);
+  if (mp != memo_partners_.end()) {
+    for (RequestId partner : mp->second) {
+      memo_.erase(MakeKey(id, partner));
+      auto pp = memo_partners_.find(partner);
+      if (pp != memo_partners_.end()) {
+        auto& back = pp->second;
+        back.erase(std::remove(back.begin(), back.end(), id), back.end());
+        if (back.empty()) memo_partners_.erase(pp);
+      }
+    }
+    memo_partners_.erase(id);
+  }
+  graph_.RemoveNode(id);  // also retires the pairing-order slot
+  requests_.erase(it);
+}
+
+void ShareGraphBuilder::RemoveRequests(const std::vector<RequestId>& ids) {
+  for (RequestId id : ids) RemoveRequest(id);
 }
 
 void ShareGraphBuilder::Retain(const std::vector<RequestId>& keep) {
   std::unordered_set<RequestId> keep_set(keep.begin(), keep.end());
   std::vector<RequestId> drop;
-  for (RequestId id : order_) {
+  for (RequestId id : graph_.Nodes()) {
     if (!keep_set.count(id)) drop.push_back(id);
   }
-  for (RequestId id : drop) {
-    graph_.RemoveNode(id);
-    requests_.erase(id);
+  RemoveRequests(drop);
+}
+
+void ShareGraphBuilder::SyncToPending(
+    const std::vector<const Request*>& pending) {
+  std::vector<RequestId> open_ids;
+  open_ids.reserve(pending.size());
+  for (const Request* r : pending) open_ids.push_back(r->id);
+  Retain(open_ids);
+  std::vector<Request> fresh;
+  for (const Request* r : pending) {
+    if (!requests_.count(r->id)) fresh.push_back(*r);
   }
-  order_.erase(std::remove_if(order_.begin(), order_.end(),
-                              [&](RequestId id) { return !keep_set.count(id); }),
-               order_.end());
+  AddRequests(fresh);
 }
 
 const Request& ShareGraphBuilder::request(RequestId id) const {
@@ -171,7 +275,14 @@ size_t ShareGraphBuilder::MemoryBytes() const {
   size_t bytes = graph_.MemoryBytes();
   bytes += requests_.bucket_count() * sizeof(void*);
   bytes += requests_.size() * (sizeof(Request) + sizeof(RequestId) + 2 * sizeof(void*));
-  bytes += order_.capacity() * sizeof(RequestId);
+  bytes += memo_.bucket_count() * sizeof(void*);
+  bytes += memo_.size() * (sizeof(PairKey) + sizeof(bool) + 2 * sizeof(void*));
+  bytes += memo_partners_.bucket_count() * sizeof(void*);
+  for (const auto& [id, partners] : memo_partners_) {
+    (void)id;
+    bytes += sizeof(RequestId) + sizeof(std::vector<RequestId>) +
+             2 * sizeof(void*) + partners.capacity() * sizeof(RequestId);
+  }
   return bytes;
 }
 

@@ -1,6 +1,7 @@
 #include "sharegraph/share_graph.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -8,11 +9,21 @@ namespace structride {
 
 namespace {
 const std::vector<RequestId> kEmpty;
-}
+// Slot marker for removed nodes awaiting compaction. Request ids are
+// non-negative (workload ids and supernode ids alike), so the minimum
+// int64 can never collide with a real node.
+constexpr RequestId kTombstone = std::numeric_limits<RequestId>::min();
+}  // namespace
 
 void ShareGraph::AddNode(RequestId id) {
+  SR_CHECK(id != kTombstone);
   if (adjacency_.count(id)) return;
+  // Settle a removal-heavy stretch before growing again, so the order
+  // vector stays within 2x of the live set even when no one reads Nodes().
+  // Deterministic: the trigger depends only on the mutation sequence.
+  if (tombstones_ > 0 && tombstones_ * 2 > nodes_.size()) CompactNodes();
   adjacency_[id] = {};
+  pos_[id] = nodes_.size();
   nodes_.push_back(id);
 }
 
@@ -35,7 +46,23 @@ void ShareGraph::RemoveNode(RequestId id) {
     --num_edges_;
   }
   adjacency_.erase(it);
-  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), id), nodes_.end());
+  auto pt = pos_.find(id);
+  SR_CHECK(pt != pos_.end());
+  nodes_[pt->second] = kTombstone;
+  ++tombstones_;
+  pos_.erase(pt);
+}
+
+void ShareGraph::CompactNodes() const {
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), kTombstone),
+               nodes_.end());
+  for (size_t i = 0; i < nodes_.size(); ++i) pos_[nodes_[i]] = i;
+  tombstones_ = 0;
+}
+
+const std::vector<RequestId>& ShareGraph::Nodes() const {
+  if (tombstones_ > 0) CompactNodes();
+  return nodes_;
 }
 
 bool ShareGraph::HasEdge(RequestId a, RequestId b) const {
@@ -84,8 +111,10 @@ void ShareGraph::SubstituteSupernode(const std::vector<RequestId>& group,
 
 size_t ShareGraph::MemoryBytes() const {
   // Heap bytes actually reserved: vector capacities (not sizes, so growth
-  // slack is charged) plus the hash map's node and bucket-array overhead.
+  // slack is charged) plus the hash maps' node and bucket-array overhead.
   size_t bytes = nodes_.capacity() * sizeof(RequestId);
+  bytes += pos_.bucket_count() * sizeof(void*);
+  bytes += pos_.size() * (sizeof(RequestId) + sizeof(size_t) + 2 * sizeof(void*));
   bytes += adjacency_.bucket_count() * sizeof(void*);
   bytes += adjacency_.size() *
            (sizeof(RequestId) + sizeof(std::vector<RequestId>) + 2 * sizeof(void*));

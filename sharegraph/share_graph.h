@@ -1,6 +1,18 @@
 // The shareability graph: one node per open request, one edge per pair that
 // could ride together. Deterministic iteration order (insertion order) is a
 // hard requirement — dispatcher results must not depend on hash-map order.
+//
+// Removal is O(degree) (DESIGN.md §7): RemoveNode erases the node from each
+// neighbor's adjacency list and tombstones its slot in the insertion-order
+// vector via a position index instead of shifting the tail. Nodes() compacts
+// the tombstones lazily (amortized one pass per removal burst), preserving
+// insertion order exactly. Two graphs driven through the same mutation
+// sequence land in identical states — bytes included — but eager-vs-lazy
+// disciplines are not capacity-equivalent (a pending tombstone can push a
+// reallocation an eager erase would have avoided). The lazy compaction
+// mutates cached state, so concurrent reads are only safe between mutations
+// (all builder/dispatcher mutation is serial; parallel phases never touch
+// the graph).
 
 #pragma once
 
@@ -21,17 +33,20 @@ class ShareGraph {
   /// ignored).
   void AddEdge(RequestId a, RequestId b);
 
+  /// O(degree + neighbor scans), not O(nodes): the position index replaces
+  /// the old full scan of the insertion-order vector.
   void RemoveNode(RequestId id);
 
   bool HasNode(RequestId id) const { return adjacency_.count(id) > 0; }
   bool HasEdge(RequestId a, RequestId b) const;
   size_t Degree(RequestId id) const;
 
-  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumNodes() const { return adjacency_.size(); }
   size_t NumEdges() const { return num_edges_; }
 
-  /// Nodes in insertion order.
-  const std::vector<RequestId>& Nodes() const { return nodes_; }
+  /// Nodes in insertion order. Compacts pending removal tombstones first;
+  /// see the header comment for the (serial-only) mutation caveat.
+  const std::vector<RequestId>& Nodes() const;
   /// Neighbors of \p id in edge-insertion order (empty for unknown nodes).
   const std::vector<RequestId>& Neighbors(RequestId id) const;
 
@@ -44,7 +59,14 @@ class ShareGraph {
   size_t MemoryBytes() const;
 
  private:
-  std::vector<RequestId> nodes_;
+  void CompactNodes() const;
+
+  /// Insertion order with lazily compacted kTombstone slots; mutable so the
+  /// const accessor can settle pending removals.
+  mutable std::vector<RequestId> nodes_;
+  /// id -> index into nodes_; rebuilt on compaction.
+  mutable std::unordered_map<RequestId, size_t> pos_;
+  mutable size_t tombstones_ = 0;
   std::unordered_map<RequestId, std::vector<RequestId>> adjacency_;
   size_t num_edges_ = 0;
 };

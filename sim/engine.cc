@@ -276,6 +276,13 @@ class SimulationEngine::EventRun : public ScenarioHost {
   EventQueue queue_;
   std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<ThreadPool> pool_;
+  /// The run's incrementally maintained share graph (DESIGN.md §7), handed
+  /// to every round via DispatchContext::sharegraph. Lifecycle events
+  /// (assignment, rejection, cancellation, expiry) retire requests here in
+  /// O(degree); dispatchers fold only the fresh slice in. Null when
+  /// DispatchConfig::incremental_sharegraph is off — graph dispatchers then
+  /// run their frozen rebuild/private-builder reference paths.
+  std::unique_ptr<ShareGraphBuilder> sharegraph_;
 
   double now_ = 0;
   double tick_time_ = 0;
@@ -310,6 +317,13 @@ RunMetrics SimulationEngine::EventRun::Execute() {
   // stage actually consumes it (today: SARD's parallel acceptance).
   if (config_.num_threads > 1 && config_.sard_parallel_acceptance) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  // One share graph per run: free (empty containers) for dispatchers that
+  // never sync into it, incremental for those that do.
+  if (config_.incremental_sharegraph) {
+    sharegraph_ =
+        std::make_unique<ShareGraphBuilder>(engine_, config_.sharegraph);
+    sharegraph_->set_memoize_pairs(true);  // outlives every batch
   }
   queries_before_ = engine_->num_queries();
 
@@ -443,6 +457,7 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
   ctx.fleet = &fleet_;
   ctx.pool = pool_.get();
   ctx.online_event = online;
+  ctx.sharegraph = sharegraph_.get();
   ctx.pending.reserve(pending_.size());
   for (size_t idx : pending_) ctx.pending.push_back(&requests_[idx]);
 
@@ -496,6 +511,11 @@ void SimulationEngine::EventRun::SweepPending() {
 void SimulationEngine::EventRun::CloseRequest(size_t idx, ReqState to) {
   if (state_[idx] == ReqState::kOpen) --open_count_;
   state_[idx] = to;
+  // End of lifetime for the maintained share graph: assignment, rejection,
+  // cancellation and expiry all retire the request in O(degree). A no-op
+  // for requests that never reached a dispatch round (or on the second
+  // close of an assigned rider when the dropoff completes).
+  if (sharegraph_ != nullptr) sharegraph_->RemoveRequest(requests_[idx].id);
 }
 
 void SimulationEngine::EventRun::ApplyRepositions(
@@ -576,6 +596,7 @@ RunMetrics SimulationEngine::EventRun::Finalize() {
   metrics.unified_cost = metrics.travel_cost + penalty;
   metrics.running_time = dispatch_seconds_;
   metrics.sp_queries = engine_->num_queries() - queries_before_;
+  metrics.sharegraph_pair_checks = dispatcher_->SharePairChecks();
   metrics.memory_bytes = dispatcher_->MemoryBytes();
   metrics.late_dropoffs = late_dropoffs_;
   FinalizeServiceQuality(requests_, served_mask_, pickup_time_, dropoff_time_,
@@ -747,6 +768,7 @@ RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
   metrics.unified_cost = metrics.travel_cost + penalty;
   metrics.running_time = dispatch_seconds;
   metrics.sp_queries = engine_->num_queries() - queries_before;
+  metrics.sharegraph_pair_checks = dispatcher->SharePairChecks();
   metrics.memory_bytes = dispatcher->MemoryBytes();
   metrics.late_dropoffs = late_dropoffs;
   FinalizeServiceQuality(requests_, served_mask, pickup_time, dropoff_time,

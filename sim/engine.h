@@ -12,6 +12,12 @@
 // equivalence reference (tests/engine_test.cc pins this at 1 and 8 worker
 // threads on all three presets).
 //
+// Run() also owns the run's incrementally maintained share graph
+// (DESIGN.md §7) when DispatchConfig::incremental_sharegraph is on:
+// lifecycle events retire requests from it and every dispatch round
+// receives it via DispatchContext::sharegraph. RunLegacy never maintains
+// one — it always replays the frozen rebuild-per-batch reference stack.
+//
 // Statefulness contract: SpawnFleet fixes the fleet's spawn positions once;
 // every Run starts from that spawn with fresh request state, but the fault
 // model's RNG (capacity draws, cancellation draws) advances across runs on
@@ -69,6 +75,10 @@ struct RunMetrics {
   double service_rate = 0;
   double running_time = 0;  ///< dispatcher compute seconds (wall clock)
   uint64_t sp_queries = 0;  ///< travel-cost backend computations
+  /// Exact share-graph pair feasibility evaluations (0 for methods that
+  /// build no share graph). The incremental maintenance of DESIGN.md §7
+  /// must cut this ≥2x for GAS/RTV versus the rebuild-per-batch reference.
+  uint64_t sharegraph_pair_checks = 0;
   size_t memory_bytes = 0;  ///< dispatcher peak instrumented bytes
   int served = 0;
   int cancelled = 0;

@@ -74,7 +74,11 @@ struct TinyPreset {
   std::vector<Request> requests;
 };
 
-void ExpectBitwiseEqual(const RunMetrics& a, const RunMetrics& b) {
+// Everything observable except instrumented memory: the incremental share
+// graph (DESIGN.md §7) must reproduce the rebuild-per-batch reference on
+// all of these bitwise, but its persistent builder legitimately accounts
+// different bytes than per-batch throwaways.
+void ExpectOutcomeEqual(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.served, b.served);
   EXPECT_EQ(a.cancelled, b.cancelled);
   EXPECT_EQ(a.total_requests, b.total_requests);
@@ -83,7 +87,6 @@ void ExpectBitwiseEqual(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.penalty_cost, b.penalty_cost);
   EXPECT_EQ(a.service_rate, b.service_rate);
   EXPECT_EQ(a.sp_queries, b.sp_queries);
-  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
   EXPECT_EQ(a.late_dropoffs, b.late_dropoffs);
   EXPECT_EQ(a.pickup_wait_p50, b.pickup_wait_p50);
   EXPECT_EQ(a.pickup_wait_p99, b.pickup_wait_p99);
@@ -91,6 +94,12 @@ void ExpectBitwiseEqual(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.repositions, b.repositions);
   EXPECT_EQ(a.reposition_cost, b.reposition_cost);
   EXPECT_EQ(a.dataset, b.dataset);
+}
+
+void ExpectBitwiseEqual(const RunMetrics& a, const RunMetrics& b) {
+  ExpectOutcomeEqual(a, b);
+  EXPECT_EQ(a.sharegraph_pair_checks, b.sharegraph_pair_checks);
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
 }
 
 // Contract 1: the acceptance bar of the event-core rewrite. Every preset,
@@ -118,18 +127,88 @@ TEST(EngineTest, EventEngineMatchesLegacyBitwise) {
 
 // The equivalence is per-dispatcher-roster, not a SARD artifact: online
 // methods (reject immediately) and batch methods (hold requests across
-// rounds) replay identically too.
+// rounds) replay identically too. Run twice per method: on the frozen
+// reference stack (incremental share graph off — GAS/RTV rebuild per batch
+// in both engines, so even instrumented memory matches bitwise) and with
+// the incremental graph on, where everything except memory accounting must
+// still reproduce the legacy engine.
 TEST(EngineTest, EventEngineMatchesLegacyAcrossDispatcherKinds) {
   for (const std::string& algo :
        {std::string("pruneGDP"), std::string("GAS"), std::string("RTV"),
         std::string("TicketAssign+"), std::string("DARM+DPRS")}) {
-    SCOPED_TRACE(algo);
-    TinyPreset ev("CHD"), lg("CHD");
-    RunMetrics event = ev.MakeEngine(ev.Options())->Run(algo, ev.Config());
-    RunMetrics legacy =
-        lg.MakeEngine(lg.Options())->RunLegacy(algo, lg.Config());
-    ExpectBitwiseEqual(event, legacy);
+    for (bool incremental : {false, true}) {
+      SCOPED_TRACE(algo + (incremental ? " incremental" : " rebuild"));
+      TinyPreset ev("CHD"), lg("CHD");
+      DispatchConfig ev_config = ev.Config();
+      ev_config.incremental_sharegraph = incremental;
+      DispatchConfig lg_config = lg.Config();
+      lg_config.incremental_sharegraph = false;  // RunLegacy's frozen stack
+      RunMetrics event = ev.MakeEngine(ev.Options())->Run(algo, ev_config);
+      RunMetrics legacy =
+          lg.MakeEngine(lg.Options())->RunLegacy(algo, lg_config);
+      if (incremental) {
+        ExpectOutcomeEqual(event, legacy);
+      } else {
+        ExpectBitwiseEqual(event, legacy);
+      }
+    }
   }
+}
+
+// The incremental share graph's parity guarantee (DESIGN.md §7): one
+// maintained graph per run — requests retired at assignment / cancellation
+// / expiry events, fresh slices folded in per round — must reproduce the
+// rebuild-per-batch reference on served / costs / sp_queries / service
+// quality bitwise, for every graph-consuming dispatcher, preset and worker
+// thread count, while never spending more exact pair checks than the
+// rebuild path re-spends.
+TEST(EngineTest, IncrementalShareGraphMatchesRebuildReference) {
+  struct Case {
+    const char* algo;
+    int threads;
+  };
+  for (const std::string& ds :
+       {std::string("CHD"), std::string("NYC"), std::string("Cainiao")}) {
+    for (const Case& c : {Case{"GAS", 1}, Case{"RTV", 1}, Case{"SARD", 1},
+                          Case{"SARD", 8}}) {
+      SCOPED_TRACE(ds + " " + c.algo + " threads=" +
+                   std::to_string(c.threads));
+      TinyPreset inc(ds), ref(ds);
+      DispatchConfig inc_config = inc.Config(c.threads);
+      inc_config.incremental_sharegraph = true;
+      DispatchConfig ref_config = ref.Config(c.threads);
+      ref_config.incremental_sharegraph = false;
+      RunMetrics on = inc.MakeEngine(inc.Options())->Run(c.algo, inc_config);
+      RunMetrics off = ref.MakeEngine(ref.Options())->Run(c.algo, ref_config);
+      ExpectOutcomeEqual(on, off);
+      // The whole point: maintenance never re-checks a pair the reference
+      // path re-checks every batch. (The ≥2x reduction is gated at bench
+      // scale by abl_incremental_sharegraph; tiny pools here may retire
+      // too fast for a fixed ratio.)
+      EXPECT_LE(on.sharegraph_pair_checks, off.sharegraph_pair_checks);
+      EXPECT_GT(off.sharegraph_pair_checks, 0u);
+    }
+  }
+}
+
+// Online dispatch mode on the incremental graph: per-request insert at
+// release events, removal at assignment — same outcome as the
+// rebuild-per-round reference under the mode switch.
+TEST(EngineTest, IncrementalShareGraphMatchesRebuildInOnlineMode) {
+  auto run_mode = [&](bool incremental) {
+    TinyPreset preset("CHD");
+    const double d = preset.spec.workload.duration;
+    SimulationOptions sopts = preset.Options();
+    auto sim = preset.MakeEngine(sopts);
+    sim->AddScenario(MakeDispatchModeSwitch(0.25 * d, kInf));
+    DispatchConfig config = preset.Config();
+    config.incremental_sharegraph = incremental;
+    return sim->Run("SARD", config);
+  };
+  RunMetrics on = run_mode(true);
+  RunMetrics off = run_mode(false);
+  ExpectOutcomeEqual(on, off);
+  EXPECT_LE(on.sharegraph_pair_checks, off.sharegraph_pair_checks);
 }
 
 // Fault models ride on events now (cancellations fire at their own
@@ -361,6 +440,161 @@ TEST(EngineTest2, ModeSwitchCoversSameTimeRelease) {
   DispatchConfig config;
   RunMetrics m = sim.Run("pruneGDP", config);
   EXPECT_EQ(m.served, 1);
+}
+
+// Property test: any event stream pops in exactly the order a stable sort
+// on (time, type) produces — FIFO inside every (time, type) bucket. Times
+// are drawn from a handful of discrete values so equal-timestamp ties are
+// dense (the regime the batch-tick equivalence depends on), and each
+// event's payload is its push index so FIFO violations are visible.
+TEST(EventQueueTest, RandomStreamsMatchStableSortReference) {
+  Rng rng(20260728);
+  constexpr EventType kTypes[] = {
+      EventType::kScenario,       EventType::kRequestRelease,
+      EventType::kStopCompletion, EventType::kBatchTick,
+      EventType::kRiderCancellation, EventType::kRiderExpiry,
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(0, 199));
+    // Few distinct times (sometimes just one): maximal tie pressure.
+    const int distinct_times = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    std::vector<Event> pushed;
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.time = static_cast<double>(rng.UniformInt(0, distinct_times - 1));
+      e.type = kTypes[rng.UniformInt(0, 5)];
+      e.a = i;  // push index: the FIFO witness
+      q.Push(e);
+      pushed.push_back(e);
+    }
+    std::stable_sort(pushed.begin(), pushed.end(),
+                     [](const Event& x, const Event& y) {
+                       if (x.time != y.time) return x.time < y.time;
+                       return static_cast<int>(x.type) <
+                              static_cast<int>(y.type);
+                     });
+    for (int i = 0; i < n; ++i) {
+      ASSERT_FALSE(q.empty());
+      Event got = q.Pop();
+      EXPECT_EQ(got.time, pushed[static_cast<size_t>(i)].time)
+          << "trial " << trial << " pop " << i;
+      EXPECT_EQ(static_cast<int>(got.type),
+                static_cast<int>(pushed[static_cast<size_t>(i)].type))
+          << "trial " << trial << " pop " << i;
+      ASSERT_EQ(got.a, pushed[static_cast<size_t>(i)].a)
+          << "trial " << trial << " pop " << i;
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// Same property under interleaved push/pop: popping a prefix mid-stream
+// never reorders what remains relative to the stable-sort reference of the
+// whole stream (the popped prefix is always a prefix of that reference).
+TEST(EventQueueTest, InterleavedRandomStreamsStayStable) {
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue q;
+    std::vector<Event> alive;  // events currently in the queue
+    for (int step = 0; step < 300; ++step) {
+      if (q.empty() || rng.Uniform(0, 1) < 0.6) {
+        Event e;
+        e.time = static_cast<double>(rng.UniformInt(0, 3));
+        e.type = static_cast<EventType>(rng.UniformInt(0, 5));
+        e.a = step;
+        q.Push(e);
+        alive.push_back(e);
+      } else {
+        // The popped event must be the stable-sort minimum of the alive
+        // set; remove the first matching element (FIFO) from the model.
+        Event got = q.Pop();
+        auto best = alive.begin();
+        for (auto it = alive.begin(); it != alive.end(); ++it) {
+          if (it->time < best->time ||
+              (it->time == best->time &&
+               static_cast<int>(it->type) < static_cast<int>(best->type))) {
+            best = it;
+          }
+        }
+        ASSERT_EQ(got.a, best->a) << "trial " << trial << " step " << step;
+        alive.erase(best);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario edge cases: extreme but legal configurations must terminate
+// cleanly with internally consistent RunMetrics.
+// ---------------------------------------------------------------------------
+
+void ExpectConsistentMetrics(const RunMetrics& m) {
+  EXPECT_GE(m.served, 0);
+  EXPECT_GE(m.cancelled, 0);
+  EXPECT_LE(m.served + m.cancelled, m.total_requests);
+  EXPECT_EQ(m.late_dropoffs, 0);
+  EXPECT_GE(m.travel_cost, 0);
+  EXPECT_GE(m.penalty_cost, 0);
+  EXPECT_DOUBLE_EQ(m.unified_cost, m.travel_cost + m.penalty_cost);
+  const double expect_rate =
+      m.total_requests == 0
+          ? 0
+          : static_cast<double>(m.served) / m.total_requests;
+  EXPECT_DOUBLE_EQ(m.service_rate, expect_rate);
+}
+
+// 100% of the fleet pulled mid-run and never restored: vehicles finish
+// committed stops, every still-open rider expires, and the engine must
+// still terminate with the books balanced (served riders keep their travel
+// cost, everyone else is penalized).
+TEST(ScenarioEdgeTest, FullFleetPullMidRunTerminates) {
+  TinyPreset preset("CHD");
+  const double d = preset.spec.workload.duration;
+  auto sim = preset.MakeEngine(preset.Options());
+  sim->AddScenario(MakeVehicleDowntime(0.3 * d, kInf, 1.0));
+  RunMetrics m = sim->Run("SARD", preset.Config());
+  ExpectConsistentMetrics(m);
+  EXPECT_LT(m.served, m.total_requests);  // the pull really cut service
+}
+
+// A surge window compressed to a single instant (factor = +inf): every
+// release in the window lands on exactly the window start. The release
+// burst shares one timestamp — the queue's FIFO tie discipline keeps the
+// stored order — and the run must complete with consistent metrics.
+TEST(ScenarioEdgeTest, SurgeCompressedToSingleInstant) {
+  // Fresh preset per run: a shared travel-cost cache would warm up and
+  // make the second run's sp_queries incomparable.
+  auto run_once = [&]() {
+    TinyPreset preset("NYC");
+    const double d = preset.spec.workload.duration;
+    auto sim = preset.MakeEngine(preset.Options());
+    sim->AddScenario(MakeDemandSurge(0.25 * d, 0.75 * d, kInf));
+    RunMetrics m = sim->Run("SARD", preset.Config());
+    EXPECT_EQ(m.total_requests, static_cast<int>(preset.requests.size()));
+    return m;
+  };
+  RunMetrics m = run_once();
+  ExpectConsistentMetrics(m);
+  // Determinism under the degenerate retiming.
+  ExpectBitwiseEqual(m, run_once());
+}
+
+// Online mode over an empty workload: no releases ever fire, so the run
+// must end at the first batch tick with all-zero books instead of idling
+// forever waiting for a request.
+TEST(ScenarioEdgeTest, OnlineModeWithEmptyWorkloadTerminates) {
+  TinyPreset preset("CHD");
+  SimulationOptions sopts = preset.Options();
+  SimulationEngine sim(preset.engine.get(), {}, sopts);
+  sim.SpawnFleet(3, preset.spec.capacity);
+  sim.AddScenario(MakeDispatchModeSwitch(0, kInf));
+  RunMetrics m = sim.Run("SARD", preset.Config());
+  ExpectConsistentMetrics(m);
+  EXPECT_EQ(m.total_requests, 0);
+  EXPECT_EQ(m.served, 0);
+  EXPECT_EQ(m.unified_cost, 0);
+  EXPECT_EQ(m.sharegraph_pair_checks, 0u);
 }
 
 TEST(EventQueueTest, InterleavedPushPopKeepsHeapOrder) {

@@ -1,0 +1,50 @@
+// The bench harness's JSON emission: every string value (dataset, bench,
+// series, point names) flows through JsonEscape before landing in
+// BENCH_*.json, so one quote or backslash in a name must never corrupt the
+// file.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/harness.h"
+
+namespace structride {
+namespace bench {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainStringsThrough) {
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("CHD baseline"), "CHD baseline");
+  EXPECT_EQ(JsonEscape("abl_scenarios-0.25x"), "abl_scenarios-0.25x");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscapeTest, EscapesNamedControls) {
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("cr\rlf\n"), "cr\\rlf\\n");
+  EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+}
+
+TEST(JsonEscapeTest, EscapesOtherControlBytesAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  // 0x20 (space) and above pass through.
+  EXPECT_EQ(JsonEscape(" ~"), " ~");
+}
+
+TEST(JsonEscapeTest, KeepsUtf8MultibyteSequencesIntact) {
+  // Bytes >= 0x80 are not control characters; a UTF-8 dataset name must
+  // survive byte-for-byte.
+  EXPECT_EQ(JsonEscape("Chéngdū"), "Chéngdū");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace structride

@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "roadnet/generator.h"
 #include "sharegraph/analysis.h"
 #include "sharegraph/builder.h"
 #include "sharegraph/loss.h"
 #include "sim/workload.h"
+#include "util/random.h"
 
 namespace structride {
 namespace {
@@ -118,6 +122,187 @@ TEST(ShareGraphBuilderTest, AnglePruningNeverDropsAFeasiblePair) {
     std::sort(a.begin(), a.end());
     std::sort(b.begin(), b.end());
     EXPECT_EQ(a, b) << "neighborhood mismatch at request " << v;
+  }
+}
+
+TEST(ShareGraphTest, RemovalPreservesInsertionOrderAndReaddAppends) {
+  ShareGraph g;
+  for (RequestId id : {5, 3, 9, 1, 7}) g.AddNode(id);
+  g.AddEdge(5, 9);
+  g.AddEdge(3, 9);
+  g.AddEdge(9, 7);
+  g.RemoveNode(9);  // tombstoned slot, edges gone in O(degree)
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.Nodes(), (std::vector<RequestId>{5, 3, 1, 7}));
+  g.AddNode(9);  // re-add lands at the end of the insertion order
+  EXPECT_EQ(g.Nodes(), (std::vector<RequestId>{5, 3, 1, 7, 9}));
+  // A removal burst exceeding half the order vector compacts eagerly even
+  // when no one reads Nodes() in between.
+  g.RemoveNode(5);
+  g.RemoveNode(3);
+  g.RemoveNode(1);
+  g.AddNode(11);
+  EXPECT_EQ(g.Nodes(), (std::vector<RequestId>{7, 9, 11}));
+}
+
+// The per-pair memo (DESIGN.md §7): an exact check runs once per pair
+// lifetime — repeats answer from the memo without travel-cost work, and a
+// removal ends the lifetime so a re-added request is evaluated afresh.
+TEST(ShareGraphBuilderTest, PairMemoAnswersRepeatsAndResetsOnRemoval) {
+  CityOptions copt;
+  copt.rows = 10;
+  copt.cols = 10;
+  copt.seed = 17;
+  RoadNetwork net = GenerateGridCity(copt);
+  TravelCostEngine engine(net);
+  DeadlinePolicy policy;
+  WorkloadOptions wopts;
+  wopts.num_requests = 20;
+  wopts.duration = 60;
+  wopts.seed = 5;
+  auto requests = GenerateWorkload(net, &engine, policy, wopts);
+
+  // A pair that survives the temporal screen, so adding it costs exactly
+  // one exact check.
+  const Request* a = nullptr;
+  const Request* b = nullptr;
+  for (size_t i = 0; i < requests.size() && a == nullptr; ++i) {
+    for (size_t j = i + 1; j < requests.size(); ++j) {
+      if (requests[i].release_time <= requests[j].deadline &&
+          requests[j].release_time <= requests[i].deadline) {
+        a = &requests[i];
+        b = &requests[j];
+        break;
+      }
+    }
+  }
+  ASSERT_NE(a, nullptr);
+
+  ShareGraphBuilder builder(&engine, {});
+  builder.set_memoize_pairs(true);
+  builder.AddRequests({*a, *b});
+  EXPECT_EQ(builder.pair_checks(), 1u);
+  EXPECT_EQ(builder.memo_hits(), 0u);
+  const bool edge = builder.graph().HasEdge(a->id, b->id);
+
+  // Probing the live pair is free: memo hit, no new exact check, and no
+  // shortest-path queries.
+  const uint64_t queries_before = engine.num_queries();
+  EXPECT_EQ(builder.CheckedShareable(a->id, b->id), edge);
+  EXPECT_EQ(builder.pair_checks(), 1u);
+  EXPECT_EQ(builder.memo_hits(), 1u);
+  EXPECT_EQ(engine.num_queries(), queries_before);
+
+  // Removal ends b's lifetime; re-adding re-evaluates the pair from
+  // scratch (same immutable request data, hence the same edge verdict).
+  builder.RemoveRequest(b->id);
+  EXPECT_FALSE(builder.graph().HasNode(b->id));
+  builder.AddRequests({*b});
+  EXPECT_EQ(builder.pair_checks(), 2u);
+  EXPECT_EQ(builder.graph().HasEdge(a->id, b->id), edge);
+}
+
+// The differential harness pinning the tentpole (DESIGN.md §7): drive many
+// seeded random batch / assignment / expiry / retain sequences through the
+// incremental builder, and after EVERY step rebuild the graph from scratch
+// over the surviving requests (in the incremental builder's insertion
+// order — exactly what the frozen rebuild-per-batch path would do). Node
+// sequence, edge count and each node's full neighbor SEQUENCE must match;
+// the graph is unweighted, so adjacency order is the strictest per-edge
+// invariant there is — it is what makes dispatcher results independent of
+// how the graph was maintained.
+TEST(ShareGraphBuilderTest, DifferentialIncrementalVsFromScratchRebuild) {
+  CityOptions copt;
+  copt.rows = 12;
+  copt.cols = 12;
+  copt.seed = 41;
+  RoadNetwork net = GenerateGridCity(copt);
+  TravelCostEngine engine(net);
+  DeadlinePolicy policy;
+  policy.gamma = 1.5;
+  WorkloadOptions wopts;
+  wopts.num_requests = 80;
+  wopts.duration = 120;
+  wopts.seed = 12;
+  auto requests = GenerateWorkload(net, &engine, policy, wopts);
+  std::unordered_map<RequestId, const Request*> by_id;
+  for (const Request& r : requests) by_id[r.id] = &r;
+
+  for (bool angle_pruning : {false, true}) {
+    for (uint64_t seed : {uint64_t{1}, uint64_t{2}, uint64_t{3}}) {
+      SCOPED_TRACE(std::string("pruning=") + (angle_pruning ? "on" : "off") +
+                   " seed=" + std::to_string(seed));
+      Rng rng(seed);
+      ShareGraphBuilderOptions opts;
+      opts.use_angle_pruning = angle_pruning;
+      ShareGraphBuilder inc(&engine, opts);
+      inc.set_memoize_pairs(true);  // the maintained role
+      std::vector<char> alive(requests.size(), 0);
+      uint64_t rebuild_checks_total = 0;
+
+      for (int step = 0; step < 25; ++step) {
+        const int op = static_cast<int>(rng.UniformInt(0, 2));
+        if (op == 0 || inc.num_requests() == 0) {
+          // Release a batch: fresh requests and re-adds of retired ones.
+          std::vector<Request> batch;
+          const int k = static_cast<int>(rng.UniformInt(1, 8));
+          for (int t = 0; t < k; ++t) {
+            size_t idx = static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(requests.size()) - 1));
+            if (alive[idx]) continue;
+            alive[idx] = 1;
+            batch.push_back(requests[idx]);
+          }
+          inc.AddRequests(batch);
+        } else if (op == 1) {
+          // Assignment / cancellation / expiry events: retire a few.
+          std::vector<RequestId> drop;
+          for (size_t idx = 0; idx < requests.size(); ++idx) {
+            if (alive[idx] && rng.Uniform(0, 1) < 0.3) {
+              alive[idx] = 0;
+              drop.push_back(requests[idx].id);
+            }
+          }
+          inc.RemoveRequests(drop);
+        } else {
+          // A dispatch-round sweep: keep a random subset of the open pool.
+          std::vector<RequestId> keep;
+          for (size_t idx = 0; idx < requests.size(); ++idx) {
+            if (!alive[idx]) continue;
+            if (rng.Uniform(0, 1) < 0.7) {
+              keep.push_back(requests[idx].id);
+            } else {
+              alive[idx] = 0;
+            }
+          }
+          inc.Retain(keep);
+        }
+
+        // From-scratch reference over the survivors, in the incremental
+        // builder's insertion order.
+        std::vector<Request> pool;
+        for (RequestId id : inc.graph().Nodes()) pool.push_back(*by_id.at(id));
+        ShareGraphBuilder ref(&engine, opts);
+        ref.AddRequests(pool);
+        rebuild_checks_total += ref.pair_checks();
+
+        ASSERT_EQ(inc.graph().NumNodes(), ref.graph().NumNodes())
+            << "step " << step;
+        ASSERT_EQ(inc.graph().NumEdges(), ref.graph().NumEdges())
+            << "step " << step;
+        ASSERT_EQ(inc.graph().Nodes(), ref.graph().Nodes()) << "step " << step;
+        for (RequestId v : ref.graph().Nodes()) {
+          ASSERT_EQ(inc.graph().Neighbors(v), ref.graph().Neighbors(v))
+              << "neighbor sequence mismatch at request " << v << ", step "
+              << step;
+        }
+      }
+      // The economics of maintenance: across the whole sequence the
+      // incremental builder spent strictly fewer exact checks than the
+      // rebuild-after-every-step discipline it replaces.
+      EXPECT_LT(inc.pair_checks(), rebuild_checks_total);
+    }
   }
 }
 
