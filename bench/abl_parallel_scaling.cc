@@ -19,6 +19,7 @@
 #include "bench/harness.h"
 #include "sim/engine.h"
 #include "sim/workload.h"
+#include "util/alloc_gate.h"
 
 using namespace structride;
 using namespace structride::bench;
@@ -28,10 +29,16 @@ int main() {
   std::printf("\n================================================================\n");
   std::printf("Scalability ablation: SARD threads x fleet sweep vs serial baseline\n");
   std::printf("================================================================\n");
-  std::printf("%-8s%-8s%-10s%10s%16s%12s%10s\n", "city", "fleet", "threads",
-              "service", "unified cost", "time (s)", "speedup");
+  std::printf("%-8s%-8s%-10s%10s%16s%12s%10s%12s\n", "city", "fleet",
+              "threads", "service", "unified cost", "time (s)", "speedup",
+              "allocs p50");
+  if (HeapAllocCountingActive()) {
+    std::printf("(counting allocator active: steady-state rounds on the "
+                "pooled path must allocate nothing)\n");
+  }
 
   int divergences = 0;
+  int alloc_gate_failures = 0;
   for (const std::string& ds : {std::string("CHD"), std::string("NYC")}) {
     DatasetSpec spec = DatasetByName(ds, scale);
     // Triple the arrival rate: graph building and proposal pricing are what
@@ -68,9 +75,9 @@ int main() {
       RunMetrics base = sim.Run("SARD", config_for(1, false));
       RecordJsonRow("SARD", ds + " x" + std::to_string(fleet_mult) + " base",
                     base);
-      std::printf("%-8sx%-7d%-10s%10.3f%16.0f%12.2f%10s\n", ds.c_str(),
+      std::printf("%-8sx%-7d%-10s%10.3f%16.0f%12.2f%10s%12s\n", ds.c_str(),
                   fleet_mult, "base", base.service_rate, base.unified_cost,
-                  base.running_time, "1.00");
+                  base.running_time, "1.00", "-");
 
       for (int threads : {1, 2, 4, 8}) {
         RunMetrics r = sim.Run("SARD", config_for(threads, true));
@@ -81,12 +88,22 @@ int main() {
                     r.unified_cost == base.unified_cost &&
                     r.sp_queries == base.sp_queries;
         if (!same) ++divergences;
-        std::printf("%-8sx%-7d%-10d%10.3f%16.0f%12.2f%10.2f%s\n", ds.c_str(),
-                    fleet_mult, threads, r.service_rate, r.unified_cost,
-                    r.running_time,
+        // The allocation gate (DESIGN.md §8): with the counting allocator
+        // linked in, the pooled dispatch path must keep its zero-heap
+        // promise on steady-state rounds at every thread count. The serial
+        // baseline cell is exempt — use_spatial_index=false runs the legacy
+        // allocating candidate scans by design.
+        bool allocs_ok =
+            !HeapAllocCountingActive() || r.allocs_per_batch_p50 == 0;
+        if (!allocs_ok) ++alloc_gate_failures;
+        std::printf("%-8sx%-7d%-10d%10.3f%16.0f%12.2f%10.2f%12llu%s%s\n",
+                    ds.c_str(), fleet_mult, threads, r.service_rate,
+                    r.unified_cost, r.running_time,
                     r.running_time > 0 ? base.running_time / r.running_time
                                        : 0.0,
-                    same ? "" : "  << DIVERGED from baseline");
+                    static_cast<unsigned long long>(r.allocs_per_batch_p50),
+                    same ? "" : "  << DIVERGED from baseline",
+                    allocs_ok ? "" : "  << STEADY BATCHES ALLOCATED");
       }
     }
   }
@@ -103,6 +120,12 @@ int main() {
   if (divergences > 0) {
     std::fprintf(stderr, "FAIL: %d cells diverged from the serial baseline\n",
                  divergences);
+    return 1;
+  }
+  if (alloc_gate_failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d cells heap-allocated on steady-state batches\n",
+                 alloc_gate_failures);
     return 1;
   }
   return 0;

@@ -89,7 +89,9 @@ void WriteJsonAtExit() {
         "%zu, \"served\": %d, \"cancelled\": %d, \"total_requests\": %d, "
         "\"pickup_wait_p50\": %.6f, \"pickup_wait_p99\": %.6f, "
         "\"mean_detour_ratio\": %.6f, \"late_dropoffs\": %d, "
-        "\"repositions\": %d, \"reposition_cost\": %.6f}%s\n",
+        "\"repositions\": %d, \"reposition_cost\": %.6f, "
+        "\"allocs_per_batch_p50\": %llu, \"allocs_per_batch_max\": %llu, "
+        "\"arena_peak_bytes\": %zu}%s\n",
         JsonEscape(r.series).c_str(), JsonEscape(r.point).c_str(),
         JsonEscape(m.dataset).c_str(), JsonEscape(m.algorithm).c_str(),
         m.unified_cost, m.travel_cost, m.penalty_cost, m.service_rate,
@@ -98,7 +100,9 @@ void WriteJsonAtExit() {
         m.memory_bytes, m.served, m.cancelled, m.total_requests,
         m.pickup_wait_p50, m.pickup_wait_p99, m.mean_detour_ratio,
         m.late_dropoffs, m.repositions, m.reposition_cost,
-        i + 1 < state.rows.size() ? "," : "");
+        static_cast<unsigned long long>(m.allocs_per_batch_p50),
+        static_cast<unsigned long long>(m.allocs_per_batch_max),
+        m.arena_peak_bytes, i + 1 < state.rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"values\": [\n");
   for (size_t i = 0; i < state.values.size(); ++i) {

@@ -37,18 +37,30 @@ micro_graph_analysis micro_sharegraph abl_sp_backends
 
 failures=0
 ran=0
+summary=""  # one "name<TAB>status<TAB>exit-code" line per bench
+
+note() {
+  summary="${summary}$(printf '%s\t%s\t%s' "$1" "$2" "$3")
+"
+}
+
 if [ "$BENCH_SET" != "micro" ]; then
   for bench in $SWEEP_BENCHES; do
     exe="$BUILD_DIR/$bench"
     if [ ! -x "$exe" ]; then
       echo "missing: $bench" >&2
       failures=$((failures + 1))
+      note "$bench" MISSING -
       continue
     fi
     echo "=== $bench (scale $STRUCTRIDE_SCALE) ==="
-    if ! "$exe"; then
-      echo "FAILED: $bench" >&2
+    if "$exe"; then
+      note "$bench" ok 0
+    else
+      rc=$?
+      echo "FAILED: $bench (exit $rc)" >&2
       failures=$((failures + 1))
+      note "$bench" FAIL "$rc"
     fi
     ran=$((ran + 1))
   done
@@ -59,22 +71,31 @@ if [ "$BENCH_SET" != "sweep" ]; then
     exe="$BUILD_DIR/$bench"
     if [ ! -x "$exe" ]; then
       echo "skipping $bench (not built; Google Benchmark missing?)" >&2
+      note "$bench" skipped -
       continue
     fi
     echo "=== $bench ==="
     # Google Benchmark's native JSON writer covers the micro benches;
     # micro_shortest_path additionally writes its latency-study JSON via
     # STRUCTRIDE_JSON_DIR.
-    if ! "$exe" --benchmark_min_time=0.01 \
+    if "$exe" --benchmark_min_time=0.01 \
          --benchmark_out="$STRUCTRIDE_JSON_DIR/BENCH_${bench}.json" \
          --benchmark_out_format=json; then
-      echo "FAILED: $bench" >&2
+      note "$bench" ok 0
+    else
+      rc=$?
+      echo "FAILED: $bench (exit $rc)" >&2
       failures=$((failures + 1))
+      note "$bench" FAIL "$rc"
     fi
     ran=$((ran + 1))
   done
 fi
 
 echo
+echo "run_all summary (bench / status / exit code):"
+printf '%s' "$summary" | while IFS="$(printf '\t')" read -r name status rc; do
+  printf '  %-32s %-8s %s\n' "$name" "$status" "$rc"
+done
 echo "run_all: $ran benches, $failures failures, results in $STRUCTRIDE_JSON_DIR"
 [ "$failures" -eq 0 ]

@@ -2,27 +2,61 @@
 
 #include <vector>
 
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace structride {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Writes stops with the request's pickup spliced before original index i and
+// the dropoff before original index j (i <= j <= stops.size()) into out,
+// which must hold stops.size() + 2 and not alias stops. Returns the length.
+inline size_t Splice(Span<const Stop> stops, const Request& request, size_t i,
+                     size_t j, Stop* out) {
+  size_t w = 0;
+  for (size_t k = 0; k < i; ++k) out[w++] = stops[k];
+  out[w++] = PickupStop(request);
+  for (size_t k = i; k < j; ++k) out[w++] = stops[k];
+  out[w++] = DropoffStop(request);
+  for (size_t k = j; k < stops.size(); ++k) out[w++] = stops[k];
+  return w;
 }
+}  // namespace
 
 InsertionCandidate BestInsertion(const RouteState& state,
-                                 const Schedule& schedule,
+                                 Span<const Stop> stops,
                                  const Request& request,
                                  TravelCostEngine* engine,
                                  const InsertionOptions& options) {
   InsertionCandidate best;
-  const std::vector<Stop>& stops = schedule.stops();
   size_t n = stops.size();
+
+  // Scratch: the base-walk planes plus one candidate buffer. Both paths
+  // produce identical results; the arena path just parks the bytes on the
+  // calling thread's scratch arena instead of the heap.
+  ArenaScope scope(ScratchArena());
+  std::vector<double> vec_time, vec_leg;
+  std::vector<Stop> vec_cand;
+  double* base_time;
+  double* base_leg;
+  Stop* candidate;
+  if (options.use_arena_scratch) {
+    base_time = scope.AllocateArray<double>(n);
+    base_leg = scope.AllocateArray<double>(n);
+    candidate = scope.AllocateArray<Stop>(n + 2);
+  } else {
+    vec_time.resize(n);
+    vec_leg.resize(n);
+    vec_cand.resize(n + 2);
+    base_time = vec_time.data();
+    base_leg = vec_leg.data();
+    candidate = vec_cand.data();
+  }
 
   // Base walk: per-stop service times and leg costs (also the base cost the
   // delta is measured against).
-  std::vector<double> base_time(n);
-  std::vector<double> base_leg(n);
   {
     double t = state.start_time;
     NodeId pos = state.start;
@@ -59,8 +93,6 @@ InsertionCandidate BestInsertion(const RouteState& state,
            base_leg[k];
   };
 
-  std::vector<Stop> candidate;
-  candidate.reserve(n + 2);
   for (size_t i = 0; i <= n; ++i) {
     if (options.use_pruning) {
       // The vehicle reaches the pickup no earlier than the base time at the
@@ -83,16 +115,8 @@ InsertionCandidate BestInsertion(const RouteState& state,
         }
         if (lb >= best.delta_cost) continue;
       }
-      candidate.clear();
-      candidate.insert(candidate.end(), stops.begin(),
-                       stops.begin() + static_cast<long>(i));
-      candidate.push_back(PickupStop(request));
-      candidate.insert(candidate.end(), stops.begin() + static_cast<long>(i),
-                       stops.begin() + static_cast<long>(j));
-      candidate.push_back(DropoffStop(request));
-      candidate.insert(candidate.end(), stops.begin() + static_cast<long>(j),
-                       stops.end());
-      auto [ok, cost] = CheckSchedule(state, candidate, engine);
+      size_t len = Splice(stops, request, i, j, candidate);
+      auto [ok, cost] = CheckSchedule(state, {candidate, len}, engine);
       if (!ok) continue;
       double delta = cost - base_cost;
       if (delta < best.delta_cost) {
@@ -107,22 +131,28 @@ InsertionCandidate BestInsertion(const RouteState& state,
   return best;
 }
 
-Schedule ApplyInsertion(const Schedule& schedule, const Request& request,
-                        const InsertionCandidate& candidate) {
+InsertionCandidate BestInsertion(const RouteState& state,
+                                 const Schedule& schedule,
+                                 const Request& request,
+                                 TravelCostEngine* engine,
+                                 const InsertionOptions& options) {
+  return BestInsertion(state, Span<const Stop>(schedule.stops()), request,
+                       engine, options);
+}
+
+size_t ApplyInsertionInto(Span<const Stop> stops, const Request& request,
+                          const InsertionCandidate& candidate, Stop* out) {
   SR_CHECK(candidate.feasible);
-  const std::vector<Stop>& stops = schedule.stops();
   SR_CHECK(candidate.pickup_pos <= candidate.dropoff_pos);
   SR_CHECK(candidate.dropoff_pos <= stops.size());
-  std::vector<Stop> out;
-  out.reserve(stops.size() + 2);
-  out.insert(out.end(), stops.begin(),
-             stops.begin() + static_cast<long>(candidate.pickup_pos));
-  out.push_back(PickupStop(request));
-  out.insert(out.end(), stops.begin() + static_cast<long>(candidate.pickup_pos),
-             stops.begin() + static_cast<long>(candidate.dropoff_pos));
-  out.push_back(DropoffStop(request));
-  out.insert(out.end(), stops.begin() + static_cast<long>(candidate.dropoff_pos),
-             stops.end());
+  return Splice(stops, request, candidate.pickup_pos, candidate.dropoff_pos,
+                out);
+}
+
+Schedule ApplyInsertion(const Schedule& schedule, const Request& request,
+                        const InsertionCandidate& candidate) {
+  std::vector<Stop> out(schedule.size() + 2);
+  ApplyInsertionInto(schedule.stops(), request, candidate, out.data());
   return Schedule(std::move(out));
 }
 
@@ -131,8 +161,13 @@ double TryInsertAndCommit(Vehicle* vehicle, const Request& request, double now,
   InsertionCandidate cand = BestInsertion(vehicle->route_state(now),
                                           vehicle->schedule(), request, engine);
   if (!cand.feasible) return kInf;
-  Schedule updated = ApplyInsertion(vehicle->schedule(), request, cand);
-  if (!vehicle->CommitSchedule(updated, now, engine)) return kInf;
+  // Stage the committed sequence on the thread's scratch arena; CommitStops
+  // copies it into the vehicle's retained storage.
+  ArenaScope scope(ScratchArena());
+  Stop* staged = scope.AllocateArray<Stop>(vehicle->schedule().size() + 2);
+  size_t len =
+      ApplyInsertionInto(vehicle->schedule().stops(), request, cand, staged);
+  if (!vehicle->CommitStops({staged, len}, now, engine)) return kInf;
   return cand.delta_cost;
 }
 

@@ -9,11 +9,18 @@
 
 #include "core/schedule.h"
 #include "core/vehicle.h"
+#include "util/span.h"
 
 namespace structride {
 
 struct InsertionOptions {
   bool use_pruning = true;
+  /// Scratch placement for the base walk and candidate buffers: the
+  /// calling thread's epoch arena (the allocation-free hot path) or plain
+  /// vectors (the legacy reference the differential tests compare
+  /// against). Outcome-identical by construction — it only moves where the
+  /// same bytes briefly live.
+  bool use_arena_scratch = true;
 };
 
 struct InsertionCandidate {
@@ -27,13 +34,28 @@ struct InsertionCandidate {
   double total_cost = std::numeric_limits<double>::infinity();
 };
 
-/// Best feasible insertion of \p request into \p schedule evaluated from
-/// \p state; infeasible candidate if none exists.
+/// Best feasible insertion of \p request into the stop sequence \p stops
+/// evaluated from \p state; infeasible candidate if none exists. The span
+/// form is the core operator — pooled schedules (SchedulePool views, arena
+/// blocks) price without materializing a Schedule.
+InsertionCandidate BestInsertion(const RouteState& state,
+                                 Span<const Stop> stops,
+                                 const Request& request,
+                                 TravelCostEngine* engine,
+                                 const InsertionOptions& options = {});
+
+/// Schedule-facing convenience wrapper over the span form.
 InsertionCandidate BestInsertion(const RouteState& state,
                                  const Schedule& schedule,
                                  const Request& request,
                                  TravelCostEngine* engine,
                                  const InsertionOptions& options = {});
+
+/// Writes the stop sequence described by a feasible candidate into \p out
+/// (room for stops.size() + 2 required; \p out must not alias \p stops).
+/// Returns the written length.
+size_t ApplyInsertionInto(Span<const Stop> stops, const Request& request,
+                          const InsertionCandidate& candidate, Stop* out);
 
 /// Materializes the stop sequence described by a feasible candidate.
 Schedule ApplyInsertion(const Schedule& schedule, const Request& request,

@@ -7,7 +7,7 @@ constexpr double kEps = 1e-7;
 
 template <typename CostFn>
 std::pair<bool, double> Walk(const RouteState& state,
-                             const std::vector<Stop>& stops, CostFn cost_fn) {
+                             Span<const Stop> stops, CostFn cost_fn) {
   double t = state.start_time;
   NodeId pos = state.start;
   int load = state.onboard;
@@ -30,14 +30,14 @@ std::pair<bool, double> Walk(const RouteState& state,
 }  // namespace
 
 std::pair<bool, double> CheckSchedule(const RouteState& state,
-                                      const std::vector<Stop>& stops,
+                                      Span<const Stop> stops,
                                       TravelCostEngine* engine) {
   return Walk(state, stops,
               [engine](NodeId a, NodeId b) { return engine->Cost(a, b); });
 }
 
 std::pair<bool, double> CheckScheduleLowerBound(
-    const RouteState& state, const std::vector<Stop>& stops,
+    const RouteState& state, Span<const Stop> stops,
     const TravelCostEngine* engine) {
   return Walk(state, stops, [engine](NodeId a, NodeId b) {
     return engine->LowerBound(a, b);

@@ -9,6 +9,7 @@
 
 #include "core/request.h"
 #include "roadnet/travel_cost.h"
+#include "util/span.h"
 
 namespace structride {
 
@@ -56,9 +57,11 @@ struct RouteState {
 /// Simulates the stop sequence from \p state: waits at early pickups,
 /// enforces every deadline and the seat capacity. Returns {feasible,
 /// total travel cost}; on infeasibility the cost is the partial cost up to
-/// the violation (useful only for diagnostics).
+/// the violation (useful only for diagnostics). Takes a span so pooled
+/// stop sequences (SchedulePool views, arena scratch) evaluate without a
+/// vector round-trip; std::vector<Stop> converts implicitly.
 std::pair<bool, double> CheckSchedule(const RouteState& state,
-                                      const std::vector<Stop>& stops,
+                                      Span<const Stop> stops,
                                       TravelCostEngine* engine);
 
 /// Same simulation under the Euclidean lower-bound metric — no shortest-path
@@ -66,7 +69,7 @@ std::pair<bool, double> CheckSchedule(const RouteState& state,
 /// metric too (costs only grow), which is what makes the angle/insertion
 /// pruning sound.
 std::pair<bool, double> CheckScheduleLowerBound(const RouteState& state,
-                                                const std::vector<Stop>& stops,
+                                                Span<const Stop> stops,
                                                 const TravelCostEngine* engine);
 
 }  // namespace structride

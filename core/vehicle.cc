@@ -2,22 +2,32 @@
 
 #include <cmath>
 
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace structride {
 
 bool Vehicle::CommitSchedule(const Schedule& schedule, double now,
                              TravelCostEngine* engine) {
+  return CommitStops(schedule.stops(), now, engine);
+}
+
+bool Vehicle::CommitStops(Span<const Stop> stops, double now,
+                          TravelCostEngine* engine) {
   RouteState state = route_state(now);
-  std::vector<double> arrivals;
-  std::vector<double> legs;
-  arrivals.reserve(schedule.size());
-  legs.reserve(schedule.size());
+  const size_t n = stops.size();
+  // Arrival/leg staging lives on the thread's scratch arena so an
+  // infeasible attempt leaves no trace and a feasible one is copied into
+  // the vehicle's retained vectors below.
+  ArenaScope scope(ScratchArena());
+  double* arrivals = scope.AllocateArray<double>(n);
+  double* legs = scope.AllocateArray<double>(n);
 
   double t = state.start_time;
   NodeId pos = state.start;
   int load = state.onboard;
-  for (const Stop& stop : schedule.stops()) {
+  for (size_t k = 0; k < n; ++k) {
+    const Stop& stop = stops[k];
     double leg = stop.node == pos ? 0.0 : engine->Cost(pos, stop.node);
     t += leg;
     pos = stop.node;
@@ -28,13 +38,21 @@ bool Vehicle::CommitSchedule(const Schedule& schedule, double now,
     } else {
       --load;
     }
-    arrivals.push_back(t);
-    legs.push_back(leg);
+    arrivals[k] = t;
+    legs[k] = leg;
   }
 
-  schedule_ = schedule;
-  arrivals_ = std::move(arrivals);
-  legs_ = std::move(legs);
+  // assign() refills in place, reusing the members' capacity once warmed.
+  // A span viewing the vehicle's own stop vector must not self-assign
+  // (assign from a range inside the vector is UB); such a span is
+  // necessarily a prefix of the storage, so truncation preserves it.
+  if (stops.data() == schedule_.stops().data()) {
+    schedule_.mutable_stops().resize(n);
+  } else {
+    schedule_.mutable_stops().assign(stops.begin(), stops.end());
+  }
+  arrivals_.assign(arrivals, arrivals + n);
+  legs_.assign(legs, legs + n);
   time_ = state.start_time;
   repositioning_ = false;  // real work abandons an in-flight reposition
   ++epoch_;

@@ -77,6 +77,13 @@ class Vehicle {
   bool CommitSchedule(const Schedule& schedule, double now,
                       TravelCostEngine* engine);
 
+  /// Span form of CommitSchedule — the pooled hot path: \p stops may live in
+  /// an arena or SchedulePool, and the vehicle's retained stop/arrival/leg
+  /// vectors are re-filled in place (no heap allocation once their capacity
+  /// has warmed). \p stops may view the vehicle's own schedule storage.
+  bool CommitStops(Span<const Stop> stops, double now,
+                   TravelCostEngine* engine);
+
   /// Starts an empty relocation toward \p target (one travel-cost query for
   /// the leg). Requires an idle, non-repositioning vehicle; returns false
   /// when those preconditions fail or \p target is the current node.

@@ -8,6 +8,14 @@
 //    its training data this is an honest heuristic surrogate — delay-
 //    tolerant batched insertion that holds a request back while its slack
 //    allows a cheaper shared match (DESIGN.md §4).
+//
+// Each baseline carries a pooled twin (DispatchConfig::soa_pools): a
+// persistent scanner whose planes refill in place, *Into candidate queries
+// into thread-scratch buffers, and winner-only schedule materialization
+// staged in the scratch arena (ApplyInsertion issues no engine queries, so
+// deferring it past the scan changes nothing) — zero heap allocations per
+// steady-state batch once pools are warm. The legacy bodies are kept
+// verbatim as the bitwise parity reference.
 
 #include <limits>
 #include <unordered_set>
@@ -25,6 +33,61 @@ class PruneGdpDispatcher : public Dispatcher {
   using Dispatcher::Dispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
+    if (config_.soa_pools) {
+      OnBatchPooled(ctx);
+    } else {
+      OnBatchLegacy(ctx);
+    }
+  }
+
+ private:
+  void OnBatchPooled(DispatchContext* ctx) {
+    if (ctx->pending.empty()) return;  // drain phase: don't build the index
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    scanner_.Rebuild(fleet, ctx->engine->network(), config_.use_spatial_index);
+    ArenaScope batch_scope(ScratchArena());
+    size_t* nearest = batch_scope.AllocateArray<size_t>(fleet.size());
+    for (const Request* r : ctx->pending) {
+      double best = kInf;
+      size_t best_vehicle = 0;
+      InsertionCandidate best_cand;
+      // Reachability prune: only vehicles whose straight-line distance still
+      // makes the pickup deadline can serve the request, and vehicle
+      // positions are fixed within a batch, so the radius query visits
+      // exactly the prefix the sorted full-fleet scan used to.
+      double reach = r->latest_pickup - ctx->now;
+      const size_t num_near = scanner_.NearestWithinInto(
+          r->source, fleet.size(), reach, nearest);
+      for (size_t ni = 0; ni < num_near; ++ni) {
+        Vehicle& v = fleet[nearest[ni]];
+        InsertionCandidate cand = BestInsertion(
+            v.route_state(ctx->now), v.schedule().stops(), *r, ctx->engine);
+        if (cand.feasible && cand.delta_cost < best) {
+          best = cand.delta_cost;
+          best_vehicle = nearest[ni];
+          best_cand = cand;
+        }
+      }
+      bool committed = false;
+      if (best < kInf) {
+        ArenaScope scope(ScratchArena());
+        const std::vector<Stop>& cur = fleet[best_vehicle].schedule().stops();
+        Stop* staged = scope.AllocateArray<Stop>(cur.size() + 2);
+        size_t len = ApplyInsertionInto(cur, *r, best_cand, staged);
+        committed = fleet[best_vehicle].CommitStops({staged, len}, ctx->now,
+                                                    ctx->engine);
+      }
+      if (committed) {
+        ctx->assigned.push_back(r->id);
+      } else {
+        ctx->rejected.push_back(r->id);  // online: no second chance
+      }
+    }
+    NotePeak(fleet.size() * sizeof(double) + scanner_.MemoryBytes() +
+             ctx->pending.size() * sizeof(Request*));
+  }
+
+  void OnBatchLegacy(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
     std::vector<Vehicle>& fleet = *ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
@@ -60,6 +123,8 @@ class PruneGdpDispatcher : public Dispatcher {
     NotePeak(fleet.size() * sizeof(double) + scanner.MemoryBytes() +
              ctx->pending.size() * sizeof(Request*));
   }
+
+  dispatch::CandidateScanner scanner_;
 };
 
 class TicketAssignDispatcher : public Dispatcher {
@@ -67,7 +132,47 @@ class TicketAssignDispatcher : public Dispatcher {
   using Dispatcher::Dispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
-    constexpr size_t kScanLimit = 16;
+    if (config_.soa_pools) {
+      OnBatchPooled(ctx);
+    } else {
+      OnBatchLegacy(ctx);
+    }
+  }
+
+ private:
+  static constexpr size_t kScanLimit = 16;
+
+  void OnBatchPooled(DispatchContext* ctx) {
+    if (ctx->pending.empty()) return;  // drain phase: don't build the index
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    scanner_.Rebuild(fleet, ctx->engine->network(), config_.use_spatial_index);
+    for (const Request* r : ctx->pending) {
+      bool placed = false;
+      size_t nearest[kScanLimit];
+      const size_t num_near =
+          scanner_.NearestInto(r->source, kScanLimit, nearest);
+      for (size_t ni = 0; ni < num_near; ++ni) {
+        Vehicle& v = fleet[nearest[ni]];
+        InsertionCandidate cand = BestInsertion(
+            v.route_state(ctx->now), v.schedule().stops(), *r, ctx->engine);
+        if (!cand.feasible) continue;
+        ArenaScope scope(ScratchArena());
+        const std::vector<Stop>& cur = v.schedule().stops();
+        Stop* staged = scope.AllocateArray<Stop>(cur.size() + 2);
+        size_t len = ApplyInsertionInto(cur, *r, cand, staged);
+        if (v.CommitStops({staged, len}, ctx->now, ctx->engine)) {
+          ctx->assigned.push_back(r->id);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) ctx->rejected.push_back(r->id);
+    }
+    NotePeak(kScanLimit * sizeof(size_t) + scanner_.MemoryBytes() +
+             ctx->pending.size() * sizeof(Request*));
+  }
+
+  void OnBatchLegacy(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
     std::vector<Vehicle>& fleet = *ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
@@ -92,6 +197,8 @@ class TicketAssignDispatcher : public Dispatcher {
     NotePeak(kScanLimit * sizeof(size_t) + scanner.MemoryBytes() +
              ctx->pending.size() * sizeof(Request*));
   }
+
+  dispatch::CandidateScanner scanner_;
 };
 
 class DarmDprsDispatcher : public Dispatcher {
@@ -99,11 +206,59 @@ class DarmDprsDispatcher : public Dispatcher {
   using Dispatcher::Dispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
-    // Hold a request back while it still has slack and no cheap (likely
-    // shared) placement exists; assign unconditionally once it gets urgent.
-    constexpr size_t kScanLimit = 16;
-    constexpr double kCheapRatio = 0.6;   // delta <= 60% of the direct cost
-    constexpr double kUrgentSlack = 60;   // seconds of pickup slack
+    if (config_.soa_pools) {
+      OnBatchPooled(ctx);
+    } else {
+      OnBatchLegacy(ctx);
+    }
+  }
+
+ private:
+  // Hold a request back while it still has slack and no cheap (likely
+  // shared) placement exists; assign unconditionally once it gets urgent.
+  static constexpr size_t kScanLimit = 16;
+  static constexpr double kCheapRatio = 0.6;  // delta <= 60% of direct cost
+  static constexpr double kUrgentSlack = 60;  // seconds of pickup slack
+
+  void OnBatchPooled(DispatchContext* ctx) {
+    if (ctx->pending.empty()) return;  // drain phase: don't build the index
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    scanner_.Rebuild(fleet, ctx->engine->network(), config_.use_spatial_index);
+    for (const Request* r : ctx->pending) {
+      double best = kInf;
+      size_t best_vehicle = 0;
+      InsertionCandidate best_cand;
+      size_t nearest[kScanLimit];
+      const size_t num_near =
+          scanner_.NearestInto(r->source, kScanLimit, nearest);
+      for (size_t ni = 0; ni < num_near; ++ni) {
+        Vehicle& v = fleet[nearest[ni]];
+        InsertionCandidate cand = BestInsertion(
+            v.route_state(ctx->now), v.schedule().stops(), *r, ctx->engine);
+        if (cand.feasible && cand.delta_cost < best) {
+          best = cand.delta_cost;
+          best_vehicle = nearest[ni];
+          best_cand = cand;
+        }
+      }
+      if (best == kInf) continue;  // stays pending until slack runs out
+      double slack = r->latest_pickup - ctx->now;
+      if (best <= kCheapRatio * r->direct_cost || slack <= kUrgentSlack) {
+        ArenaScope scope(ScratchArena());
+        const std::vector<Stop>& cur = fleet[best_vehicle].schedule().stops();
+        Stop* staged = scope.AllocateArray<Stop>(cur.size() + 2);
+        size_t len = ApplyInsertionInto(cur, *r, best_cand, staged);
+        if (fleet[best_vehicle].CommitStops({staged, len}, ctx->now,
+                                            ctx->engine)) {
+          ctx->assigned.push_back(r->id);
+        }
+      }
+    }
+    NotePeak(ctx->pending.size() * (sizeof(Request*) + sizeof(double)) +
+             scanner_.MemoryBytes() + kScanLimit * sizeof(size_t));
+  }
+
+  void OnBatchLegacy(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
     std::vector<Vehicle>& fleet = *ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
@@ -135,6 +290,8 @@ class DarmDprsDispatcher : public Dispatcher {
     NotePeak(ctx->pending.size() * (sizeof(Request*) + sizeof(double)) +
              scanner.MemoryBytes() + kScanLimit * sizeof(size_t));
   }
+
+  dispatch::CandidateScanner scanner_;
 };
 
 }  // namespace

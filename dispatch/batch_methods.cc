@@ -9,8 +9,20 @@
 //    memory hog of Fig. 14) and an anytime assignment: penalty-folded
 //    greedy over trips plus a per-request improvement pass standing in for
 //    the ILP solve (degrading to the incumbent instead of blowing up).
+//
+// Each method carries two representations of the same algorithm
+// (DispatchConfig::soa_pools): the pooled path enumerates into a persistent
+// GroupingScratch (SchedulePool-backed), keys conflict sets through the
+// RequestSoA id plane instead of hash sets, and stages ordering/selection
+// arrays in the batch arena — zero heap allocations per steady-state batch
+// once pools are warm — while the legacy path keeps the original per-batch
+// containers as the bitwise parity reference. Every enumeration, sort key
+// and commit decision is evaluated in the identical order, so the two
+// paths reproduce each other exactly on served / unified_cost /
+// sp_queries.
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "dispatch/common.h"
@@ -33,7 +45,8 @@ bool OrderCandidates(const TripCandidate& a, const TripCandidate& b,
 }
 
 // Shared base of the two graph-consuming batch methods: picks the round's
-// share graph and keeps the pair-check books.
+// share graph, keeps the pair-check books, and owns the pooled-path
+// persistent state (grouping scratch, fallback arena and SoA views).
 class GraphBatchDispatcher : public Dispatcher {
  protected:
   using Dispatcher::Dispatcher;
@@ -60,6 +73,52 @@ class GraphBatchDispatcher : public Dispatcher {
     AddPairChecks(local->pair_checks());
     return local;
   }
+
+  // Pooled twin: the throwaway builder is only even constructed on the
+  // from-scratch reference path (its per-batch rebuild allocates by
+  // design); the request copies it folds in are staged in the batch arena.
+  ShareGraphBuilder* RoundShareGraphPooled(
+      DispatchContext* ctx, std::optional<ShareGraphBuilder>* local,
+      EpochArena* arena) {
+    if (ctx->sharegraph != nullptr) {
+      ctx->sharegraph->SyncToPending(ctx->pending);
+      SetPairChecks(ctx->sharegraph->pair_checks());
+      return ctx->sharegraph;
+    }
+    local->emplace(ctx->engine, config_.sharegraph);
+    const size_t n = ctx->pending.size();
+    Request* copy = arena->AllocateArray<Request>(n);
+    for (size_t i = 0; i < n; ++i) copy[i] = *ctx->pending[i];
+    (*local)->AddRequests(Span<const Request>(copy, n));
+    AddPairChecks((*local)->pair_checks());
+    return &**local;
+  }
+
+  EpochArena* BatchArena(DispatchContext* ctx) {
+    if (ctx->arena != nullptr) return ctx->arena;
+    own_arena_.Reset();
+    return &own_arena_;
+  }
+  const RequestSoA* PendingView(DispatchContext* ctx) {
+    if (ctx->pending_soa != nullptr) return ctx->pending_soa;
+    pending_soa_.Refresh({ctx->pending.data(), ctx->pending.size()});
+    return &pending_soa_;
+  }
+  const FleetSoA* FleetView(DispatchContext* ctx) {
+    if (ctx->fleet_soa != nullptr) return ctx->fleet_soa;
+    fleet_soa_.Refresh(*ctx->fleet);
+    return &fleet_soa_;
+  }
+
+  /// Pooled-path persistent state: the enumeration scratch's pool and
+  /// vectors stay warm across batches, as do the fallback planes/arena for
+  /// callers that provide none.
+  GroupingScratch scratch_;
+
+ private:
+  EpochArena own_arena_;
+  RequestSoA pending_soa_;
+  FleetSoA fleet_soa_;
 };
 
 class GasDispatcher : public GraphBatchDispatcher {
@@ -67,6 +126,107 @@ class GasDispatcher : public GraphBatchDispatcher {
   using GraphBatchDispatcher::GraphBatchDispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
+    if (config_.soa_pools) {
+      OnBatchPooled(ctx);
+    } else {
+      OnBatchLegacy(ctx);
+    }
+  }
+
+ private:
+  void OnBatchPooled(DispatchContext* ctx) {
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    if (ctx->pending.empty()) return;
+    EpochArena* arena = BatchArena(ctx);
+    const RequestSoA* soa = PendingView(ctx);
+    const FleetSoA* fsoa = FleetView(ctx);
+    const size_t num_pending = ctx->pending.size();
+
+    std::optional<ShareGraphBuilder> local;
+    ShareGraphBuilder* builder = RoundShareGraphPooled(ctx, &local, arena);
+
+    GroupingOptions gopts = config_.grouping;
+    gopts.insertion_order = InsertionOrderPolicy::kBestOfAllParents;
+    gopts.max_group_size =
+        std::min(gopts.max_group_size, config_.vehicle_capacity);
+
+    scratch_.Reset();
+    Span<const Request* const> pool(ctx->pending.data(), ctx->pending.size());
+    PooledGroupingResult* per_vehicle =
+        arena->AllocateArray<PooledGroupingResult>(fleet.size());
+    size_t grouping_bytes = 0;
+    for (size_t vi = 0; vi < fleet.size(); ++vi) {
+      per_vehicle[vi] = PooledGroupingResult{};
+      if (!fsoa->in_service[vi]) continue;  // downtime: no new work
+      per_vehicle[vi] = EnumerateGroupsPooled(
+          fleet[vi].route_state(ctx->now), fleet[vi].schedule().stops(), pool,
+          &builder->graph(), ctx->engine, gopts, &scratch_);
+      grouping_bytes += PooledGroupingMemoryBytes(scratch_, per_vehicle[vi]);
+    }
+    const size_t num_cands = scratch_.groups.size();
+    size_t* cand_vehicle = arena->AllocateArray<size_t>(num_cands);
+    for (size_t vi = 0; vi < fleet.size(); ++vi) {
+      for (size_t i = 0; i < per_vehicle[vi].count; ++i) {
+        cand_vehicle[per_vehicle[vi].first_group + i] = vi;
+      }
+    }
+    // Same accounting terms as the legacy path, so the metric is
+    // representation-invariant.
+    NotePeak(builder->MemoryBytes() + grouping_bytes +
+             num_cands * sizeof(TripCandidate));
+
+    // (key, vehicle, members) is unique per candidate (best-of-all-parents
+    // dedups member sets per vehicle), so this std::sort realizes the
+    // legacy OrderCandidates order exactly.
+    size_t* order = arena->AllocateArray<size_t>(num_cands);
+    for (size_t i = 0; i < num_cands; ++i) order[i] = i;
+    std::sort(order, order + num_cands, [&](size_t a, size_t b) {
+      const PooledGroup& ga = scratch_.groups[a];
+      const PooledGroup& gb = scratch_.groups[b];
+      double ka = ga.delta_cost / static_cast<double>(ga.members_len);
+      double kb = gb.delta_cost / static_cast<double>(gb.members_len);
+      if (ka != kb) return ka < kb;
+      if (cand_vehicle[a] != cand_vehicle[b]) {
+        return cand_vehicle[a] < cand_vehicle[b];
+      }
+      Span<const RequestId> ma = scratch_.MembersOf(ga);
+      Span<const RequestId> mb = scratch_.MembersOf(gb);
+      return std::lexicographical_compare(ma.begin(), ma.end(), mb.begin(),
+                                          mb.end());
+    });
+
+    // Conflict sets as flat flags over fleet index / pending-pool index
+    // (the RequestSoA id plane replaces the legacy hash sets).
+    char* used_vehicle = arena->AllocateArray<char>(fleet.size());
+    std::fill(used_vehicle, used_vehicle + fleet.size(), 0);
+    char* taken = arena->AllocateArray<char>(num_pending);
+    std::fill(taken, taken + num_pending, 0);
+    for (size_t oi = 0; oi < num_cands; ++oi) {
+      const size_t ci = order[oi];
+      const PooledGroup& g = scratch_.groups[ci];
+      const size_t vi = cand_vehicle[ci];
+      if (used_vehicle[vi]) continue;
+      bool conflict = false;
+      for (RequestId id : scratch_.MembersOf(g)) {
+        if (taken[soa->IndexOfId(id)]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      if (!fleet[vi].CommitStops(scratch_.ScheduleOf(g), ctx->now,
+                                 ctx->engine)) {
+        continue;
+      }
+      used_vehicle[vi] = 1;
+      for (RequestId id : scratch_.MembersOf(g)) {
+        taken[soa->IndexOfId(id)] = 1;
+        ctx->assigned.push_back(id);
+      }
+    }
+  }
+
+  void OnBatchLegacy(DispatchContext* ctx) {
     std::vector<Vehicle>& fleet = *ctx->fleet;
     std::vector<Request> pool;
     pool.reserve(ctx->pending.size());
@@ -134,6 +294,154 @@ class RtvDispatcher : public GraphBatchDispatcher {
   using GraphBatchDispatcher::GraphBatchDispatcher;
 
   void OnBatch(DispatchContext* ctx) override {
+    if (config_.soa_pools) {
+      OnBatchPooled(ctx);
+    } else {
+      OnBatchLegacy(ctx);
+    }
+  }
+
+ private:
+  void OnBatchPooled(DispatchContext* ctx) {
+    std::vector<Vehicle>& fleet = *ctx->fleet;
+    if (ctx->pending.empty()) return;
+    EpochArena* arena = BatchArena(ctx);
+    const RequestSoA* soa = PendingView(ctx);
+    const FleetSoA* fsoa = FleetView(ctx);
+    const size_t num_pending = ctx->pending.size();
+
+    // RR edges (the shareability graph) and per-vehicle trip enumeration.
+    std::optional<ShareGraphBuilder> local;
+    ShareGraphBuilder* builder = RoundShareGraphPooled(ctx, &local, arena);
+
+    GroupingOptions gopts = config_.grouping;
+    gopts.insertion_order = InsertionOrderPolicy::kBestOfAllParents;
+    gopts.max_group_size = config_.vehicle_capacity;
+
+    scratch_.Reset();
+    Span<const Request* const> pool(ctx->pending.data(), ctx->pending.size());
+    PooledGroupingResult* per_vehicle =
+        arena->AllocateArray<PooledGroupingResult>(fleet.size());
+    for (size_t vi = 0; vi < fleet.size(); ++vi) {
+      per_vehicle[vi] = PooledGroupingResult{};
+    }
+    int64_t node_budget = config_.ilp_node_cap;
+    for (size_t vi = 0; vi < fleet.size() && node_budget > 0; ++vi) {
+      if (!fsoa->in_service[vi]) continue;  // downtime: no new work
+      gopts.max_groups = static_cast<size_t>(node_budget);
+      per_vehicle[vi] = EnumerateGroupsPooled(
+          fleet[vi].route_state(ctx->now), fleet[vi].schedule().stops(), pool,
+          &builder->graph(), ctx->engine, gopts, &scratch_);
+      node_budget -= static_cast<int64_t>(per_vehicle[vi].count);
+    }
+    const size_t num_trips = scratch_.groups.size();
+    size_t* trip_vehicle = arena->AllocateArray<size_t>(num_trips);
+    for (size_t vi = 0; vi < fleet.size(); ++vi) {
+      for (size_t i = 0; i < per_vehicle[vi].count; ++i) {
+        trip_vehicle[per_vehicle[vi].first_group + i] = vi;
+      }
+    }
+    // Same accounting terms as the legacy path (every trip materialized —
+    // the memory hog the figure is about), representation-invariant.
+    size_t trip_bytes = num_trips * sizeof(TripCandidate);
+    for (const PooledGroup& g : scratch_.groups) {
+      trip_bytes += g.members_len * sizeof(RequestId) +
+                    scratch_.ScheduleOf(g).size() * sizeof(Stop);
+    }
+    NotePeak(builder->MemoryBytes() + trip_bytes);
+
+    // The assignment objective folds the unassignment penalty in: picking a
+    // trip saves penalty * sum(direct costs) against its extra travel. The
+    // RequestSoA direct plane replaces the legacy id->direct hash map.
+    // Decorate-sort: one net cost per trip, not one per comparison.
+    double* net = arena->AllocateArray<double>(num_trips);
+    size_t* order = arena->AllocateArray<size_t>(num_trips);
+    for (size_t i = 0; i < num_trips; ++i) {
+      const PooledGroup& g = scratch_.groups[i];
+      double saved = 0;
+      for (RequestId id : scratch_.MembersOf(g)) {
+        saved += soa->direct[soa->IndexOfId(id)];
+      }
+      net[i] = g.delta_cost - config_.penalty_coefficient * saved;
+      order[i] = i;
+    }
+    std::sort(order, order + num_trips, [&](size_t a, size_t b) {
+      if (net[a] != net[b]) return net[a] < net[b];
+      if (trip_vehicle[a] != trip_vehicle[b]) {
+        return trip_vehicle[a] < trip_vehicle[b];
+      }
+      Span<const RequestId> ma = scratch_.MembersOf(scratch_.groups[a]);
+      Span<const RequestId> mb = scratch_.MembersOf(scratch_.groups[b]);
+      return std::lexicographical_compare(ma.begin(), ma.end(), mb.begin(),
+                                          mb.end());
+    });
+
+    char* used_vehicle = arena->AllocateArray<char>(fleet.size());
+    std::fill(used_vehicle, used_vehicle + fleet.size(), 0);
+    char* taken = arena->AllocateArray<char>(num_pending);
+    std::fill(taken, taken + num_pending, 0);
+    for (size_t oi = 0; oi < num_trips; ++oi) {
+      const size_t ti = order[oi];
+      if (net[ti] >= 0) break;  // remaining trips cannot help
+      const PooledGroup& g = scratch_.groups[ti];
+      const size_t vi = trip_vehicle[ti];
+      if (used_vehicle[vi]) continue;
+      bool conflict = false;
+      for (RequestId id : scratch_.MembersOf(g)) {
+        if (taken[soa->IndexOfId(id)]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      if (!fleet[vi].CommitStops(scratch_.ScheduleOf(g), ctx->now,
+                                 ctx->engine)) {
+        continue;
+      }
+      used_vehicle[vi] = 1;
+      for (RequestId id : scratch_.MembersOf(g)) {
+        taken[soa->IndexOfId(id)] = 1;
+        ctx->assigned.push_back(id);
+      }
+    }
+
+    // Improvement pass (the anytime stand-in for the ILP): leftover requests
+    // get a plain best-insertion over the whole fleet, including vehicles
+    // already extended this round. The winning schedule is materialized
+    // only once per committed request (ApplyInsertion issues no engine
+    // queries, so deferring it past the scan changes nothing).
+    for (size_t ri = 0; ri < num_pending; ++ri) {
+      if (taken[ri]) continue;
+      const Request& r = *ctx->pending[ri];
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_vehicle = 0;
+      InsertionCandidate best_cand;
+      for (size_t vi = 0; vi < fleet.size(); ++vi) {
+        if (!fsoa->in_service[vi]) continue;
+        InsertionCandidate cand =
+            BestInsertion(fleet[vi].route_state(ctx->now),
+                          fleet[vi].schedule().stops(), r, ctx->engine);
+        if (cand.feasible && cand.delta_cost < best) {
+          best = cand.delta_cost;
+          best_vehicle = vi;
+          best_cand = cand;
+        }
+      }
+      if (best < config_.penalty_coefficient * r.direct_cost) {
+        ArenaScope scope(ScratchArena());
+        const std::vector<Stop>& cur = fleet[best_vehicle].schedule().stops();
+        Stop* staged = scope.AllocateArray<Stop>(cur.size() + 2);
+        size_t len = ApplyInsertionInto(cur, r, best_cand, staged);
+        if (fleet[best_vehicle].CommitStops({staged, len}, ctx->now,
+                                            ctx->engine)) {
+          taken[ri] = 1;
+          ctx->assigned.push_back(r.id);
+        }
+      }
+    }
+  }
+
+  void OnBatchLegacy(DispatchContext* ctx) {
     std::vector<Vehicle>& fleet = *ctx->fleet;
     std::vector<Request> pool;
     pool.reserve(ctx->pending.size());

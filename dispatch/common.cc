@@ -1,7 +1,6 @@
 #include "dispatch/common.h"
 
 #include <algorithm>
-#include <numeric>
 
 namespace structride {
 namespace dispatch {
@@ -23,14 +22,16 @@ std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
   return order;
 }
 
-CandidateScanner::CandidateScanner(const std::vector<Vehicle>& fleet,
-                                   const RoadNetwork& net, bool use_index)
-    : fleet_(&fleet), net_(&net) {
-  if (use_index) index_ = std::make_unique<FleetSpatialIndex>(fleet, net);
+void CandidateScanner::Rebuild(const std::vector<Vehicle>& fleet,
+                               const RoadNetwork& net, bool use_index) {
+  fleet_ = &fleet;
+  net_ = &net;
+  use_index_ = use_index;
+  if (use_index_) index_.Rebuild(fleet, net);
 }
 
 std::vector<size_t> CandidateScanner::Nearest(NodeId from, size_t k) const {
-  if (index_) return index_->KNearest(from, k);
+  if (use_index_) return index_.KNearest(from, k);
   std::vector<size_t> order = VehiclesByDistance(*fleet_, *net_, from);
   if (order.size() > k) order.resize(k);
   return order;
@@ -38,7 +39,7 @@ std::vector<size_t> CandidateScanner::Nearest(NodeId from, size_t k) const {
 
 std::vector<size_t> CandidateScanner::NearestWithin(NodeId from, size_t k,
                                                     double max_dist) const {
-  if (index_) return index_->KNearestWithin(from, k, max_dist);
+  if (use_index_) return index_.KNearestWithin(from, k, max_dist);
   std::vector<size_t> order = VehiclesByDistance(*fleet_, *net_, from);
   std::vector<size_t> out;
   for (size_t vi : order) {
@@ -49,8 +50,21 @@ std::vector<size_t> CandidateScanner::NearestWithin(NodeId from, size_t k,
   return out;
 }
 
-size_t CandidateScanner::MemoryBytes() const {
-  return index_ ? index_->MemoryBytes() : 0;
+size_t CandidateScanner::NearestInto(NodeId from, size_t k,
+                                     size_t* out) const {
+  if (use_index_) return index_.KNearestInto(from, k, out);
+  std::vector<size_t> order = Nearest(from, k);  // legacy path may allocate
+  std::copy(order.begin(), order.end(), out);
+  return order.size();
+}
+
+size_t CandidateScanner::NearestWithinInto(NodeId from, size_t k,
+                                           double max_dist,
+                                           size_t* out) const {
+  if (use_index_) return index_.KNearestWithinInto(from, k, max_dist, out);
+  std::vector<size_t> order = NearestWithin(from, k, max_dist);
+  std::copy(order.begin(), order.end(), out);
+  return order.size();
 }
 
 GroupInsertion InsertGroupSequential(const RouteState& state,
@@ -69,6 +83,32 @@ GroupInsertion InsertGroupSequential(const RouteState& state,
   out.feasible = true;
   out.delta_cost = delta;
   out.schedule = std::move(schedule);
+  return out;
+}
+
+PooledGroupInsertion InsertGroupSequentialPooled(
+    const RouteState& state, Span<const Stop> committed,
+    Span<const Request* const> members, TravelCostEngine* engine,
+    EpochArena* arena) {
+  PooledGroupInsertion out;
+  const size_t final_len = committed.size() + 2 * members.size();
+  Stop* bufs[2] = {arena->AllocateArray<Stop>(final_len),
+                   arena->AllocateArray<Stop>(final_len)};
+  Span<const Stop> cur = committed;
+  int which = 0;
+  double delta = 0;
+  for (const Request* r : members) {
+    InsertionCandidate cand = BestInsertion(state, cur, *r, engine);
+    if (!cand.feasible) return out;
+    size_t len = ApplyInsertionInto(cur, *r, cand, bufs[which]);
+    cur = {bufs[which], len};
+    which ^= 1;
+    delta += cand.delta_cost;
+  }
+  out.feasible = true;
+  out.delta_cost = delta;
+  out.stops = cur.data();
+  out.len = cur.size();
   return out;
 }
 

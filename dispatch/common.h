@@ -2,12 +2,12 @@
 
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "core/insertion.h"
 #include "core/vehicle.h"
 #include "dispatch/spatial_index.h"
+#include "util/arena.h"
 
 namespace structride {
 namespace dispatch {
@@ -20,14 +20,23 @@ namespace dispatch {
 std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
                                        const RoadNetwork& net, NodeId from);
 
-/// Per-batch nearest-candidate scanner. Built once per batch from the
+/// Per-batch nearest-candidate scanner. Rebuilt once per batch from the
 /// batch-start fleet positions; answers from the grid-bucket index when
 /// enabled, or from the legacy full sort when not. Both paths return the
 /// identical (distance, index)-ordered prefix, so the knob only moves time.
+/// A persistent instance reuses the index's planes across Rebuild calls —
+/// steady-state batches rebuild without heap allocation — and the *Into
+/// query variants answer into caller buffers.
 class CandidateScanner {
  public:
+  CandidateScanner() = default;
   CandidateScanner(const std::vector<Vehicle>& fleet, const RoadNetwork& net,
-                   bool use_index);
+                   bool use_index) {
+    Rebuild(fleet, net, use_index);
+  }
+
+  void Rebuild(const std::vector<Vehicle>& fleet, const RoadNetwork& net,
+               bool use_index);
 
   /// The k nearest fleet indices to \p from.
   std::vector<size_t> Nearest(NodeId from, size_t k) const;
@@ -37,12 +46,20 @@ class CandidateScanner {
   std::vector<size_t> NearestWithin(NodeId from, size_t k,
                                     double max_dist) const;
 
-  size_t MemoryBytes() const;
+  /// Allocation-free twins (on the indexed path): write up to \p k fleet
+  /// indices into \p out (room for k), return the count. Safe to call from
+  /// concurrent workers — staging uses the calling thread's scratch arena.
+  size_t NearestInto(NodeId from, size_t k, size_t* out) const;
+  size_t NearestWithinInto(NodeId from, size_t k, double max_dist,
+                           size_t* out) const;
+
+  size_t MemoryBytes() const { return use_index_ ? index_.MemoryBytes() : 0; }
 
  private:
-  const std::vector<Vehicle>* fleet_;
-  const RoadNetwork* net_;
-  std::unique_ptr<FleetSpatialIndex> index_;  ///< null on the legacy path
+  const std::vector<Vehicle>* fleet_ = nullptr;
+  const RoadNetwork* net_ = nullptr;
+  bool use_index_ = false;
+  FleetSpatialIndex index_;
 };
 
 struct GroupInsertion {
@@ -57,6 +74,24 @@ GroupInsertion InsertGroupSequential(const RouteState& state,
                                      const Schedule& committed,
                                      const std::vector<const Request*>& members,
                                      TravelCostEngine* engine);
+
+/// Pooled result: the stop sequence lives in the arena passed to
+/// InsertGroupSequentialPooled, valid until that arena rewinds.
+struct PooledGroupInsertion {
+  bool feasible = false;
+  double delta_cost = 0;
+  const Stop* stops = nullptr;
+  size_t len = 0;
+};
+
+/// The allocation-free twin of InsertGroupSequential: identical insertions
+/// in identical order (hence identical feasibility, delta and travel-cost
+/// query sequence), with every intermediate stage ping-ponged between two
+/// \p arena blocks instead of materialized as a Schedule.
+PooledGroupInsertion InsertGroupSequentialPooled(
+    const RouteState& state, Span<const Stop> committed,
+    Span<const Request* const> members, TravelCostEngine* engine,
+    EpochArena* arena);
 
 }  // namespace dispatch
 }  // namespace structride

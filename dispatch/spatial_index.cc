@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/arena.h"
+
 namespace structride {
 namespace dispatch {
 
@@ -29,9 +31,11 @@ double BoxDistance(const Point& q, double x0, double y0, double x1,
 
 }  // namespace
 
-FleetSpatialIndex::FleetSpatialIndex(const std::vector<Vehicle>& fleet,
-                                     const RoadNetwork& net)
-    : net_(&net) {
+void FleetSpatialIndex::Rebuild(const std::vector<Vehicle>& fleet,
+                                const RoadNetwork& net) {
+  net_ = &net;
+  positions_.clear();
+  active_.clear();
   positions_.reserve(fleet.size());
   active_.reserve(fleet.size());
   for (const Vehicle& v : fleet) {
@@ -39,7 +43,9 @@ FleetSpatialIndex::FleetSpatialIndex(const std::vector<Vehicle>& fleet,
     active_.push_back(v.in_service() ? 1 : 0);
   }
   if (positions_.empty()) {
-    buckets_.resize(1);
+    cols_ = rows_ = 1;
+    bucket_offsets_.assign(2, 0);
+    bucket_items_.clear();
     return;
   }
   double max_x = positions_[0].x, max_y = positions_[0].y;
@@ -58,10 +64,16 @@ FleetSpatialIndex::FleetSpatialIndex(const std::vector<Vehicle>& fleet,
   cols_ = rows_ = std::max(1, side);
   cell_w_ = std::max((max_x - min_x_) / cols_, 1e-9);
   cell_h_ = std::max((max_y - min_y_) / rows_, 1e-9);
-  buckets_.resize(static_cast<size_t>(cols_) * static_cast<size_t>(rows_));
-  // Fleet order insertion keeps every bucket ascending by vehicle index.
-  // Out-of-service vehicles are never bucketed: the index answers candidate
-  // scans, and pulled vehicles take no new work.
+
+  // Counting sort into the CSR planes. Filling in fleet order keeps every
+  // bucket ascending by vehicle index. Out-of-service vehicles are never
+  // bucketed: the index answers candidate scans, and pulled vehicles take
+  // no new work.
+  const size_t num_cells =
+      static_cast<size_t>(cols_) * static_cast<size_t>(rows_);
+  cell_of_.clear();
+  cell_of_.resize(positions_.size(), num_cells);  // sentinel: not bucketed
+  bucket_offsets_.assign(num_cells + 1, 0);
   for (size_t i = 0; i < positions_.size(); ++i) {
     if (!active_[i]) continue;
     int cx = std::min(cols_ - 1,
@@ -70,37 +82,50 @@ FleetSpatialIndex::FleetSpatialIndex(const std::vector<Vehicle>& fleet,
     int cy = std::min(rows_ - 1,
                       std::max(0, static_cast<int>((positions_[i].y - min_y_) /
                                                    cell_h_)));
-    buckets_[static_cast<size_t>(cy) * static_cast<size_t>(cols_) +
-             static_cast<size_t>(cx)]
-        .push_back(i);
+    cell_of_[i] = static_cast<size_t>(cy) * static_cast<size_t>(cols_) +
+                  static_cast<size_t>(cx);
+    ++bucket_offsets_[cell_of_[i] + 1];
+  }
+  for (size_t c = 0; c < num_cells; ++c) {
+    bucket_offsets_[c + 1] += bucket_offsets_[c];
+  }
+  bucket_items_.resize(bucket_offsets_[num_cells]);
+  {
+    ArenaScope scope(ScratchArena());
+    size_t* fill = scope.AllocateArray<size_t>(num_cells);
+    std::copy(bucket_offsets_.begin(), bucket_offsets_.end() - 1, fill);
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      if (cell_of_[i] == num_cells) continue;
+      bucket_items_[fill[cell_of_[i]]++] = i;
+    }
   }
 }
 
-std::vector<size_t> FleetSpatialIndex::Query(NodeId from, size_t k,
-                                             double max_dist) const {
-  std::vector<size_t> out;
-  if (k == 0 || positions_.empty()) return out;
+size_t FleetSpatialIndex::QueryInto(NodeId from, size_t k, double max_dist,
+                                    size_t* out) const {
+  if (k == 0 || positions_.empty()) return 0;
   const Point q = net_->position(from);
+  ArenaScope scope(ScratchArena());
 
   // Dense ask: k covers most of the fleet, so walking every grid cell with
   // per-candidate bound upkeep cannot beat one flat scan + sort (this is
   // pruneGDP's radius query with k = fleet size).
   if (2 * k >= positions_.size()) {
-    std::vector<std::pair<double, size_t>> cand;
-    cand.reserve(positions_.size());
+    auto* cand =
+        scope.AllocateArray<std::pair<double, size_t>>(positions_.size());
+    size_t num_cand = 0;
     for (size_t i = 0; i < positions_.size(); ++i) {
       if (!active_[i]) continue;
       double d = EuclidDistance(q, positions_[i]);
       if (max_dist >= 0 && d > max_dist) continue;
-      cand.emplace_back(d, i);
+      cand[num_cand++] = {d, i};
     }
     // Lexicographic pair order reproduces the full sort's distance-then-
     // index tie break exactly.
-    std::sort(cand.begin(), cand.end());
-    if (cand.size() > k) cand.resize(k);
-    out.reserve(cand.size());
-    for (const auto& c : cand) out.push_back(c.second);
-    return out;
+    std::sort(cand, cand + num_cand);
+    size_t written = std::min(num_cand, k);
+    for (size_t i = 0; i < written; ++i) out[i] = cand[i].second;
+    return written;
   }
 
   const int qcx = std::min(
@@ -113,29 +138,34 @@ std::vector<size_t> FleetSpatialIndex::Query(NodeId from, size_t k,
   // Sorted best-k array of (distance, index) pairs; k is small on this
   // path, so ordered insertion is a short memmove — cheaper than heap
   // churn, and already in final order.
-  std::vector<std::pair<double, size_t>> best;
-  best.reserve(k + 1);
+  auto* best = scope.AllocateArray<std::pair<double, size_t>>(k + 1);
+  size_t num_best = 0;
   auto bound = [&]() {
-    return best.size() == k ? best.back().first
-                            : std::numeric_limits<double>::infinity();
+    return num_best == k ? best[num_best - 1].first
+                         : std::numeric_limits<double>::infinity();
   };
   auto scan_cell = [&](int cx, int cy) {
     // Cell-level prune: nothing inside the cell's rectangle can beat the
     // current kth-best.
-    if (best.size() == k) {
+    if (num_best == k) {
       double cell_lb = BoxDistance(q, min_x_ + cx * cell_w_,
                                    min_y_ + cy * cell_h_,
                                    min_x_ + (cx + 1) * cell_w_,
                                    min_y_ + (cy + 1) * cell_h_);
-      if (cell_lb > best.back().first) return;
+      if (cell_lb > best[num_best - 1].first) return;
     }
-    for (size_t i : Bucket(cx, cy)) {
+    size_t len = 0;
+    const size_t* bucket = BucketBegin(cx, cy, &len);
+    for (size_t b = 0; b < len; ++b) {
+      size_t i = bucket[b];
       double d = EuclidDistance(q, positions_[i]);
       if (max_dist >= 0 && d > max_dist) continue;
       std::pair<double, size_t> cand{d, i};
-      if (best.size() == k && !(cand < best.back())) continue;
-      best.insert(std::upper_bound(best.begin(), best.end(), cand), cand);
-      if (best.size() > k) best.pop_back();
+      if (num_best == k && !(cand < best[num_best - 1])) continue;
+      auto* pos = std::upper_bound(best, best + num_best, cand);
+      for (auto* m = best + num_best; m > pos; --m) *m = *(m - 1);
+      *pos = cand;
+      if (num_best < k) ++num_best;
     }
   };
 
@@ -150,7 +180,7 @@ std::vector<size_t> FleetSpatialIndex::Query(NodeId from, size_t k,
                                   min_y_ + (qcy - (r - 1)) * cell_h_,
                                   min_x_ + (qcx + r) * cell_w_,
                                   min_y_ + (qcy + r) * cell_h_);
-      bool past_k = best.size() == k && lb > bound();
+      bool past_k = num_best == k && lb > bound();
       bool past_radius = max_dist >= 0 && lb > max_dist;
       if (past_k || past_radius) break;
     }
@@ -164,15 +194,14 @@ std::vector<size_t> FleetSpatialIndex::Query(NodeId from, size_t k,
     }
   }
 
-  out.reserve(best.size());
-  for (const auto& c : best) out.push_back(c.second);
-  return out;
+  for (size_t i = 0; i < num_best; ++i) out[i] = best[i].second;
+  return num_best;
 }
 
 size_t FleetSpatialIndex::MemoryBytes() const {
   size_t bytes = positions_.size() * (sizeof(Point) + sizeof(size_t));
-  bytes += active_.capacity() * sizeof(char);
-  bytes += buckets_.size() * sizeof(std::vector<size_t>);
+  bytes += active_.size() * sizeof(char);
+  bytes += (bucket_offsets_.size() + bucket_items_.size()) * sizeof(size_t);
   return bytes;
 }
 

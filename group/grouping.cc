@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "util/arena.h"
+
 namespace structride {
 
 namespace {
@@ -15,6 +17,45 @@ bool AdjacentToAll(const ShareGraph* graph, RequestId candidate,
                    const std::vector<RequestId>& members) {
   for (RequestId m : members) {
     if (!graph->HasEdge(candidate, m)) return false;
+  }
+  return true;
+}
+
+bool AdjacentToAllSpan(const ShareGraph* graph, RequestId candidate,
+                       const RequestId* members, uint32_t len) {
+  for (uint32_t k = 0; k < len; ++k) {
+    if (!graph->HasEdge(candidate, members[k])) return false;
+  }
+  return true;
+}
+
+// FNV-1a over the (sorted) member-id key.
+uint64_t HashKey(const RequestId* key, uint32_t len) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t k = 0; k < len; ++k) {
+    h ^= static_cast<uint64_t>(key[k]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// One candidate child produced during a best-of-all-parents level, chained
+// in production order on the call's arena.
+struct ChildRec {
+  const RequestId* key = nullptr;   ///< sorted member ids (len entries)
+  const size_t* midx = nullptr;     ///< sorted pool indices (len entries)
+  uint32_t len = 0;
+  uint32_t parent = 0;              ///< index into the current level
+  const Request* request = nullptr; ///< the member this child adds
+  double delta = 0;
+  InsertionCandidate cand;
+  ChildRec* next = nullptr;
+};
+
+bool SameKey(const ChildRec* a, const ChildRec* b) {
+  if (a->len != b->len) return false;
+  for (uint32_t k = 0; k < a->len; ++k) {
+    if (a->key[k] != b->key[k]) return false;
   }
   return true;
 }
@@ -47,6 +88,8 @@ GroupingResult EnumerateGroups(const RouteState& state,
   auto capped = [&] { return result.groups.size() >= options.max_groups; };
 
   std::vector<Node> level;
+  level.reserve(ordered.size());
+  result.groups.reserve(std::min(options.max_groups, ordered.size()));
   for (size_t idx = 0; idx < ordered.size(); ++idx) {
     if (capped()) {
       result.truncated = true;
@@ -67,6 +110,7 @@ GroupingResult EnumerateGroups(const RouteState& state,
   int size = 1;
   while (!level.empty() && size < options.max_group_size && graph != nullptr) {
     std::vector<Node> next;
+    next.reserve(level.size());
     if (options.insertion_order == InsertionOrderPolicy::kByShareability) {
       // Additive tree: each set is generated once, along the index-increasing
       // path, i.e. members join in ascending shareability order.
@@ -79,8 +123,10 @@ GroupingResult EnumerateGroups(const RouteState& state,
               BestInsertion(state, node.group.schedule, r, engine);
           if (!cand.feasible) continue;
           Node child;
+          child.member_idx.reserve(node.member_idx.size() + 1);
           child.member_idx = node.member_idx;
           child.member_idx.push_back(idx);
+          child.group.members.reserve(node.group.members.size() + 1);
           child.group.members = node.group.members;
           child.group.members.push_back(r.id);
           child.group.schedule = ApplyInsertion(node.group.schedule, r, cand);
@@ -105,7 +151,9 @@ GroupingResult EnumerateGroups(const RouteState& state,
             continue;
           }
           if (!AdjacentToAll(graph, r.id, node.group.members)) continue;
-          std::vector<RequestId> key = node.group.members;
+          std::vector<RequestId> key;
+          key.reserve(node.group.members.size() + 1);
+          key = node.group.members;
           key.push_back(r.id);
           std::sort(key.begin(), key.end());
           InsertionCandidate cand =
@@ -117,6 +165,7 @@ GroupingResult EnumerateGroups(const RouteState& state,
             continue;
           }
           Node child;
+          child.member_idx.reserve(node.member_idx.size() + 1);
           child.member_idx = node.member_idx;
           child.member_idx.push_back(idx);
           std::sort(child.member_idx.begin(), child.member_idx.end());
@@ -131,11 +180,13 @@ GroupingResult EnumerateGroups(const RouteState& state,
         }
         if (result.truncated) break;
       }
+      next.reserve(dedup.size());
       for (auto& [key, node] : dedup) {
         (void)key;
         next.push_back(std::move(node));
       }
     }
+    result.groups.reserve(result.groups.size() + next.size());
     for (const Node& node : next) result.groups.push_back(node.group);
     level = std::move(next);
     ++size;
@@ -144,11 +195,243 @@ GroupingResult EnumerateGroups(const RouteState& state,
   return result;
 }
 
+PooledGroupingResult EnumerateGroupsPooled(const RouteState& state,
+                                           Span<const Stop> committed,
+                                           Span<const Request* const> pool,
+                                           const ShareGraph* graph,
+                                           TravelCostEngine* engine,
+                                           const GroupingOptions& options,
+                                           GroupingScratch* scratch) {
+  PooledGroupingResult result;
+  result.first_group = scratch->groups.size();
+  if (options.max_group_size <= 0) return result;
+
+  ArenaScope scope(ScratchArena());
+  const size_t n = pool.size();
+  const Request** ordered = scope.AllocateArray<const Request*>(n);
+  for (size_t i = 0; i < n; ++i) ordered[i] = pool[i];
+  if (options.insertion_order == InsertionOrderPolicy::kByShareability &&
+      graph != nullptr) {
+    // (degree, id) is a strict total order — ids are unique — so the
+    // allocation-free std::sort reproduces the legacy stable_sort.
+    std::sort(ordered, ordered + n,
+              [graph](const Request* a, const Request* b) {
+                size_t da = graph->Degree(a->id);
+                size_t db = graph->Degree(b->id);
+                if (da != db) return da < db;
+                return a->id < b->id;
+              });
+  }
+
+  auto count = [&] { return scratch->groups.size() - result.first_group; };
+  auto capped = [&] { return count() >= options.max_groups; };
+
+  // Splices request r (per cand) into parent and appends the group; the
+  // caller supplies the full member-id list.
+  auto emit_group = [&](Span<const Stop> parent, const Request& r,
+                        const InsertionCandidate& cand,
+                        const RequestId* members, uint32_t mlen,
+                        double delta) {
+    PooledGroup g;
+    g.members_first = static_cast<uint32_t>(scratch->member_ids.size());
+    g.members_len = mlen;
+    scratch->member_ids.insert(scratch->member_ids.end(), members,
+                               members + mlen);
+    Stop* out = scratch->schedules.AppendUninit(parent.size() + 2, &g.schedule);
+    ApplyInsertionInto(parent, r, cand, out);
+    g.delta_cost = delta;
+    scratch->groups.push_back(g);
+    return g.schedule;
+  };
+
+  auto& level = scratch->level_;
+  auto& next = scratch->next_;
+  level.clear();
+  next.clear();
+
+  for (size_t idx = 0; idx < n; ++idx) {
+    if (capped()) {
+      result.truncated = true;
+      result.count = count();
+      return result;
+    }
+    InsertionCandidate cand =
+        BestInsertion(state, committed, *ordered[idx], engine);
+    if (!cand.feasible) continue;
+    RequestId* mem = scope.AllocateArray<RequestId>(1);
+    mem[0] = ordered[idx]->id;
+    size_t* midx = scope.AllocateArray<size_t>(1);
+    midx[0] = idx;
+    SchedulePool::Handle h =
+        emit_group(committed, *ordered[idx], cand, mem, 1, cand.delta_cost);
+    level.push_back({mem, midx, 1, h, cand.delta_cost});
+  }
+
+  int size = 1;
+  while (!level.empty() && size < options.max_group_size && graph != nullptr) {
+    next.clear();
+    if (options.insertion_order == InsertionOrderPolicy::kByShareability) {
+      // Additive tree, as in EnumerateGroups; children are emitted at
+      // production time, which is exactly the order the legacy path appends
+      // them after the level completes.
+      for (const auto& node : level) {
+        for (size_t idx = node.member_idx[node.len - 1] + 1; idx < n; ++idx) {
+          const Request& r = *ordered[idx];
+          if (!AdjacentToAllSpan(graph, r.id, node.members, node.len)) continue;
+          Span<const Stop> parent = scratch->schedules.View(node.schedule);
+          InsertionCandidate cand = BestInsertion(state, parent, r, engine);
+          if (!cand.feasible) continue;
+          RequestId* mem = scope.AllocateArray<RequestId>(node.len + 1);
+          std::copy(node.members, node.members + node.len, mem);
+          mem[node.len] = r.id;
+          size_t* midx = scope.AllocateArray<size_t>(node.len + 1);
+          std::copy(node.member_idx, node.member_idx + node.len, midx);
+          midx[node.len] = idx;
+          double delta = node.delta + cand.delta_cost;
+          SchedulePool::Handle h =
+              emit_group(parent, r, cand, mem, node.len + 1, delta);
+          next.push_back({mem, midx, node.len + 1, h, delta});
+          if (capped()) {
+            result.truncated = true;
+            break;
+          }
+        }
+        if (result.truncated) break;
+      }
+    } else {
+      // Best-of-all-parents. Children are recorded in production order; the
+      // winners — cheapest per member set, earliest producer on delta ties,
+      // exactly the survivor of the legacy replace-if-cheaper map — are
+      // selected and materialized afterwards in ascending key order, the
+      // legacy map's iteration order. The member-key set (open addressing
+      // over the arena) tracks the distinct-set count the truncation cap is
+      // defined on.
+      ChildRec* head = nullptr;
+      ChildRec** tail = &head;
+      size_t num_children = 0;
+      size_t table_cap = 64;
+      while (table_cap < 2 * level.size() + 16) table_cap <<= 1;
+      ChildRec** table = scope.AllocateArray<ChildRec*>(table_cap);
+      std::fill(table, table + table_cap, nullptr);
+      size_t distinct = 0;
+
+      auto find_slot = [&](ChildRec* rec) {
+        size_t slot = HashKey(rec->key, rec->len) & (table_cap - 1);
+        while (table[slot] != nullptr && !SameKey(table[slot], rec)) {
+          slot = (slot + 1) & (table_cap - 1);
+        }
+        return slot;
+      };
+      auto grow_table = [&] {
+        size_t old_cap = table_cap;
+        ChildRec** old = table;
+        table_cap <<= 1;
+        table = scope.AllocateArray<ChildRec*>(table_cap);
+        std::fill(table, table + table_cap, nullptr);
+        for (size_t s = 0; s < old_cap; ++s) {
+          if (old[s] != nullptr) table[find_slot(old[s])] = old[s];
+        }
+      };
+
+      for (uint32_t ni = 0; ni < level.size() && !result.truncated; ++ni) {
+        const auto& node = level[ni];
+        for (size_t idx = 0; idx < n; ++idx) {
+          const Request& r = *ordered[idx];
+          bool contains = false;
+          for (uint32_t k = 0; k < node.len; ++k) {
+            if (node.member_idx[k] == idx) {
+              contains = true;
+              break;
+            }
+          }
+          if (contains) continue;
+          if (!AdjacentToAllSpan(graph, r.id, node.members, node.len)) continue;
+          RequestId* key = scope.AllocateArray<RequestId>(node.len + 1);
+          std::copy(node.members, node.members + node.len, key);
+          key[node.len] = r.id;
+          std::sort(key, key + node.len + 1);
+          InsertionCandidate cand = BestInsertion(
+              state, scratch->schedules.View(node.schedule), r, engine);
+          if (!cand.feasible) continue;
+          size_t* midx = scope.AllocateArray<size_t>(node.len + 1);
+          std::copy(node.member_idx, node.member_idx + node.len, midx);
+          midx[node.len] = idx;
+          std::sort(midx, midx + node.len + 1);
+          ChildRec* rec = scope.AllocateArray<ChildRec>(1);
+          *rec = {key,  midx, node.len + 1,     ni,
+                  &r,   node.delta + cand.delta_cost, cand, nullptr};
+          *tail = rec;
+          tail = &rec->next;
+          ++num_children;
+          size_t slot = find_slot(rec);
+          if (table[slot] == nullptr) {
+            table[slot] = rec;
+            ++distinct;
+            if (2 * distinct >= table_cap) grow_table();
+            if (count() + distinct >= options.max_groups) {
+              result.truncated = true;
+              break;
+            }
+          }
+        }
+      }
+
+      // Selection: sort all recorded children by (key, delta, production
+      // index) and keep the first of each key run.
+      ChildRec** all = scope.AllocateArray<ChildRec*>(num_children);
+      {
+        size_t w = 0;
+        for (ChildRec* rec = head; rec != nullptr; rec = rec->next) {
+          all[w++] = rec;
+        }
+      }
+      uint32_t* order = scope.AllocateArray<uint32_t>(num_children);
+      for (uint32_t i = 0; i < num_children; ++i) order[i] = i;
+      std::sort(order, order + num_children, [&](uint32_t a, uint32_t b) {
+        const ChildRec* ca = all[a];
+        const ChildRec* cb = all[b];
+        for (uint32_t k = 0; k < ca->len; ++k) {
+          if (ca->key[k] != cb->key[k]) return ca->key[k] < cb->key[k];
+        }
+        if (ca->delta != cb->delta) return ca->delta < cb->delta;
+        return a < b;
+      });
+      const ChildRec* prev = nullptr;
+      for (size_t i = 0; i < num_children; ++i) {
+        ChildRec* rec = all[order[i]];
+        if (prev != nullptr && SameKey(prev, rec)) continue;
+        prev = rec;
+        Span<const Stop> parent =
+            scratch->schedules.View(level[rec->parent].schedule);
+        SchedulePool::Handle h = emit_group(parent, *rec->request, rec->cand,
+                                            rec->key, rec->len, rec->delta);
+        next.push_back({rec->key, rec->midx, rec->len, h, rec->delta});
+      }
+    }
+    std::swap(level, next);
+    ++size;
+    if (result.truncated) break;
+  }
+  result.count = count();
+  return result;
+}
+
 size_t GroupingMemoryBytes(const GroupingResult& result) {
   size_t bytes = result.groups.size() * sizeof(CandidateGroup);
   for (const CandidateGroup& g : result.groups) {
     bytes += g.members.size() * sizeof(RequestId);
     bytes += g.schedule.size() * sizeof(Stop);
+  }
+  return bytes;
+}
+
+size_t PooledGroupingMemoryBytes(const GroupingScratch& scratch,
+                                 const PooledGroupingResult& result) {
+  size_t bytes = result.count * sizeof(CandidateGroup);
+  for (size_t i = 0; i < result.count; ++i) {
+    const PooledGroup& g = scratch.groups[result.first_group + i];
+    bytes += g.members_len * sizeof(RequestId);
+    bytes += scratch.ScheduleOf(g).size() * sizeof(Stop);
   }
   return bytes;
 }

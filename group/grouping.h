@@ -9,13 +9,24 @@
 //  - kBestOfAllParents: the GAS-quality variant — every parent group's
 //    schedule is tried for the new member and the cheapest kept; more work,
 //    occasionally better schedules.
+//
+// Two representations of the output (DESIGN.md §8):
+//  - EnumerateGroups: one CandidateGroup per group, each owning vectors —
+//    the legacy reference the differential tests pin against.
+//  - EnumerateGroupsPooled: groups append into a caller-owned
+//    GroupingScratch (schedules in a SchedulePool, member ids in one flat
+//    vector) that persists across batches — a warmed scratch serves a
+//    steady-state batch without heap allocation. Identical groups in
+//    identical order, bitwise-identical schedules and deltas.
 
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/entity_pools.h"
 #include "core/insertion.h"
 #include "sharegraph/share_graph.h"
 
@@ -54,8 +65,83 @@ GroupingResult EnumerateGroups(const RouteState& state,
                                TravelCostEngine* engine,
                                const GroupingOptions& options);
 
+/// One enumerated group in the pooled representation: members are a slice
+/// of GroupingScratch::member_ids, the schedule a SchedulePool handle.
+struct PooledGroup {
+  uint32_t members_first = 0;
+  uint32_t members_len = 0;
+  SchedulePool::Handle schedule = SchedulePool::kInvalid;
+  double delta_cost = 0;
+};
+
+/// Batch-lifetime storage for pooled enumeration. One instance per
+/// dispatcher: Reset() once per batch (retains capacity), then any number
+/// of EnumerateGroupsPooled calls append into it and the consumer reads
+/// groups until the next Reset.
+struct GroupingScratch {
+  SchedulePool schedules;
+  std::vector<RequestId> member_ids;
+  std::vector<PooledGroup> groups;
+
+  Span<const RequestId> MembersOf(const PooledGroup& g) const {
+    return {member_ids.data() + g.members_first, g.members_len};
+  }
+  Span<const Stop> ScheduleOf(const PooledGroup& g) const {
+    return schedules.View(g.schedule);
+  }
+
+  void Reset() {
+    schedules.Reset();
+    member_ids.clear();
+    groups.clear();
+    level_.clear();
+    next_.clear();
+  }
+  size_t MemoryBytes() const {
+    return schedules.MemoryBytes() + member_ids.capacity() * sizeof(RequestId) +
+           groups.capacity() * sizeof(PooledGroup);
+  }
+
+  // Per-call working state (capacity reused across calls; the pointers
+  // reference the calling thread's scratch arena and die with the call).
+  struct LevelNode {
+    const RequestId* members = nullptr;
+    const size_t* member_idx = nullptr;
+    uint32_t len = 0;
+    SchedulePool::Handle schedule = SchedulePool::kInvalid;
+    double delta = 0;
+  };
+  std::vector<LevelNode> level_, next_;
+};
+
+/// Where EnumerateGroupsPooled put this call's groups: indices
+/// [first_group, first_group + count) of scratch->groups.
+struct PooledGroupingResult {
+  size_t first_group = 0;
+  size_t count = 0;
+  bool truncated = false;  ///< hit max_groups before finishing a level
+};
+
+/// The pooled twin of EnumerateGroups: same groups, same order, same
+/// schedules and deltas, same travel-cost query sequence — appended into
+/// \p scratch instead of freshly allocated. \p options.max_groups caps this
+/// call's group count (not the scratch total).
+PooledGroupingResult EnumerateGroupsPooled(const RouteState& state,
+                                           Span<const Stop> committed,
+                                           Span<const Request* const> pool,
+                                           const ShareGraph* graph,
+                                           TravelCostEngine* engine,
+                                           const GroupingOptions& options,
+                                           GroupingScratch* scratch);
+
 /// Estimated heap footprint of a grouping result (for Fig.-14-style
 /// instrumented memory accounting).
 size_t GroupingMemoryBytes(const GroupingResult& result);
+
+/// Pooled counterpart of GroupingMemoryBytes for one call's slice: counts
+/// the same content bytes (group records, member ids, schedule stops), so
+/// the instrumented accounting stays representation-independent.
+size_t PooledGroupingMemoryBytes(const GroupingScratch& scratch,
+                                 const PooledGroupingResult& result);
 
 }  // namespace structride

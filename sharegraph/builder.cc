@@ -1,8 +1,8 @@
 #include "sharegraph/builder.h"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "util/arena.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -41,7 +41,7 @@ bool ShareGraphBuilder::AnyJointOrderFeasible(const Request& a,
                                               Check check) const {
   const Stop stops[4] = {PickupStop(a), PickupStop(b), DropoffStop(a),
                          DropoffStop(b)};
-  std::vector<Stop> sequence(4);
+  Stop sequence[4];
   for (const auto& order : kJointOrders) {
     for (int k = 0; k < 4; ++k) sequence[static_cast<size_t>(k)] = stops[order[k]];
     const Request& first = order[0] == 0 ? a : b;
@@ -50,14 +50,14 @@ bool ShareGraphBuilder::AnyJointOrderFeasible(const Request& a,
     state.start_time = first.release_time;
     // A pair needs two seats; a capacity-1 fleet shares nothing.
     state.capacity = std::min(2, options_.vehicle_capacity);
-    if (check(state, sequence)) return true;
+    if (check(state, Span<const Stop>(sequence, 4))) return true;
   }
   return false;
 }
 
 bool ShareGraphBuilder::Shareable(const Request& a, const Request& b) const {
   return AnyJointOrderFeasible(
-      a, b, [this](const RouteState& state, const std::vector<Stop>& stops) {
+      a, b, [this](const RouteState& state, Span<const Stop> stops) {
         return CheckSchedule(state, stops, engine_).first;
       });
 }
@@ -84,7 +84,7 @@ void ShareGraphBuilder::RecordMemo(RequestId a, RequestId b, bool shareable) {
 bool ShareGraphBuilder::LowerBoundShareable(const Request& a,
                                             const Request& b) const {
   return AnyJointOrderFeasible(
-      a, b, [this](const RouteState& state, const std::vector<Stop>& stops) {
+      a, b, [this](const RouteState& state, Span<const Stop> stops) {
         return CheckScheduleLowerBound(state, stops, engine_).first;
       });
 }
@@ -100,7 +100,7 @@ bool ShareGraphBuilder::AngleWide(const Request& a, const Request& b) const {
          theta_ba >= options_.angle_threshold;
 }
 
-void ShareGraphBuilder::AddRequests(const std::vector<Request>& batch) {
+void ShareGraphBuilder::AddRequests(Span<const Request> batch) {
   // graph_.Nodes() is the pairing order (see the member comment); reading
   // it first settles any pending removal tombstones, so the node adds
   // below are pure appends and the reference stays valid for the tasks.
@@ -243,26 +243,40 @@ void ShareGraphBuilder::RemoveRequests(const std::vector<RequestId>& ids) {
   for (RequestId id : ids) RemoveRequest(id);
 }
 
-void ShareGraphBuilder::Retain(const std::vector<RequestId>& keep) {
-  std::unordered_set<RequestId> keep_set(keep.begin(), keep.end());
-  std::vector<RequestId> drop;
-  for (RequestId id : graph_.Nodes()) {
-    if (!keep_set.count(id)) drop.push_back(id);
+void ShareGraphBuilder::Retain(Span<const RequestId> keep) {
+  // Arena internals (a sorted keep array instead of a hash set, the drop
+  // list bump-allocated): a steady-state sync — everything retained,
+  // nothing dropped — touches the heap not at all. Ids are unique, so the
+  // sorted array answers membership exactly like the set did.
+  ArenaScope scope(ScratchArena());
+  RequestId* sorted = scope.AllocateArray<RequestId>(keep.size());
+  std::copy(keep.begin(), keep.end(), sorted);
+  std::sort(sorted, sorted + keep.size());
+  const std::vector<RequestId>& nodes = graph_.Nodes();
+  RequestId* drop = scope.AllocateArray<RequestId>(nodes.size());
+  size_t num_drop = 0;
+  for (RequestId id : nodes) {
+    if (!std::binary_search(sorted, sorted + keep.size(), id)) {
+      drop[num_drop++] = id;
+    }
   }
-  RemoveRequests(drop);
+  for (size_t k = 0; k < num_drop; ++k) RemoveRequest(drop[k]);
 }
 
 void ShareGraphBuilder::SyncToPending(
     const std::vector<const Request*>& pending) {
-  std::vector<RequestId> open_ids;
-  open_ids.reserve(pending.size());
-  for (const Request* r : pending) open_ids.push_back(r->id);
-  Retain(open_ids);
-  std::vector<Request> fresh;
+  ArenaScope scope(ScratchArena());
+  RequestId* open_ids = scope.AllocateArray<RequestId>(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) open_ids[i] = pending[i]->id;
+  Retain({static_cast<const RequestId*>(open_ids), pending.size()});
+  // The fresh slice, staged on the arena; a steady round has none and
+  // AddRequests returns before allocating anything.
+  Request* fresh = scope.AllocateArray<Request>(pending.size());
+  size_t num_fresh = 0;
   for (const Request* r : pending) {
-    if (!requests_.count(r->id)) fresh.push_back(*r);
+    if (!requests_.count(r->id)) fresh[num_fresh++] = *r;
   }
-  AddRequests(fresh);
+  AddRequests(Span<const Request>(fresh, num_fresh));
 }
 
 const Request& ShareGraphBuilder::request(RequestId id) const {

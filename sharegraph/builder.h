@@ -31,6 +31,7 @@
 #include "core/schedule.h"
 #include "geo/angle.h"
 #include "sharegraph/share_graph.h"
+#include "util/span.h"
 
 namespace structride {
 
@@ -61,10 +62,15 @@ class ShareGraphBuilder {
   /// legs are prefetched through TravelCostEngine::CostMany (one source, all
   /// candidate partners), which pins the source's hub label once without
   /// changing the query set (DESIGN.md §5).
-  void AddRequests(const std::vector<Request>& batch);
+  void AddRequests(Span<const Request> batch);
+  void AddRequests(const std::vector<Request>& batch) {
+    AddRequests(Span<const Request>(batch));
+  }
   /// Historical name for AddRequests; kept for the call sites that fold a
   /// whole pool in one shot.
-  void AddBatch(const std::vector<Request>& batch) { AddRequests(batch); }
+  void AddBatch(const std::vector<Request>& batch) {
+    AddRequests(Span<const Request>(batch));
+  }
 
   /// Removes one request: its node and edges leave the graph in O(degree)
   /// via the adjacency lists, its memo entries are purged (both
@@ -78,7 +84,10 @@ class ShareGraphBuilder {
   /// Drops every request not in \p keep (assigned, expired or cancelled
   /// riders leave the graph; the paper's builder only carries open
   /// requests between batches).
-  void Retain(const std::vector<RequestId>& keep);
+  void Retain(Span<const RequestId> keep);
+  void Retain(const std::vector<RequestId>& keep) {
+    Retain(Span<const RequestId>(keep));
+  }
 
   /// One-call delta sync against a dispatch round's open set: removes every
   /// request no longer pending, then folds the unseen ones in. Under

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "sim/event_queue.h"
+#include "util/alloc_gate.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -263,6 +264,7 @@ class SimulationEngine::EventRun : public ScenarioHost {
   std::vector<double> pickup_time_;
   std::vector<double> dropoff_time_;
   std::vector<size_t> pending_;  ///< request indices, release order
+  std::vector<char> dispatched_;  ///< request was in some earlier round
 
   std::vector<Vehicle> fleet_;
   std::vector<uint64_t> scheduled_epoch_;  ///< per vehicle: epoch with a
@@ -283,6 +285,20 @@ class SimulationEngine::EventRun : public ScenarioHost {
   /// DispatchConfig::incremental_sharegraph is off — graph dispatchers then
   /// run their frozen rebuild/private-builder reference paths.
   std::unique_ptr<ShareGraphBuilder> sharegraph_;
+  /// Round-scoped pooled state (DESIGN.md §8), owned here so no round pays
+  /// a fresh construction: the context itself (output vectors keep their
+  /// capacity), the batch bump arena (reset before each round), and the
+  /// SoA planes (refreshed in place before each round). Only wired into
+  /// the context when DispatchConfig::soa_pools is on; the legacy
+  /// representation gets null pooled fields, exactly like a hand-built
+  /// context.
+  DispatchContext ctx_;
+  EpochArena batch_arena_;
+  FleetSoA fleet_soa_;
+  RequestSoA pending_soa_;
+  /// Heap allocations inside OnBatch, one sample per steady-state round
+  /// (see RunMetrics); all-zero unless the counting allocator is linked.
+  std::vector<uint64_t> steady_alloc_samples_;
 
   double now_ = 0;
   double tick_time_ = 0;
@@ -306,6 +322,7 @@ RunMetrics SimulationEngine::EventRun::Execute() {
   id2idx_.reserve(n);
   for (size_t i = 0; i < n; ++i) id2idx_[requests_[i].id] = i;
   state_.assign(n, ReqState::kUnreleased);
+  dispatched_.assign(n, 0);
   served_mask_.assign(n, 0);
   pickup_time_.assign(n, 0);
   dropoff_time_.assign(n, 0);
@@ -451,34 +468,65 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
   // replaces both of the legacy loop's pending-filter passes.
   SweepPending();
 
-  DispatchContext ctx;
-  ctx.now = now_;
-  ctx.engine = engine_;
-  ctx.fleet = &fleet_;
-  ctx.pool = pool_.get();
-  ctx.online_event = online;
-  ctx.sharegraph = sharegraph_.get();
-  ctx.pending.reserve(pending_.size());
-  for (size_t idx : pending_) ctx.pending.push_back(&requests_[idx]);
+  // Steady-state classification (RunMetrics doc): the round counts when
+  // every pending request has already been through a dispatch round — the
+  // pools-are-warm regime the zero-allocation guarantee covers.
+  bool steady = !pending_.empty();
+  for (size_t idx : pending_) {
+    if (!dispatched_[idx]) steady = false;
+    dispatched_[idx] = 1;
+  }
 
+  // The context persists across rounds: outputs keep their capacity, the
+  // pending view is rebuilt in place, the arena rewinds over warm chunks.
+  ctx_.now = now_;
+  ctx_.engine = engine_;
+  ctx_.fleet = &fleet_;
+  ctx_.pool = pool_.get();
+  ctx_.online_event = online;
+  ctx_.sharegraph = sharegraph_.get();
+  ctx_.assigned.clear();
+  ctx_.rejected.clear();
+  ctx_.repositions.clear();
+  ctx_.pending.clear();
+  ctx_.pending.reserve(pending_.size());
+  for (size_t idx : pending_) ctx_.pending.push_back(&requests_[idx]);
+  if (config_.soa_pools) {
+    batch_arena_.Reset();
+    fleet_soa_.Refresh(fleet_);
+    pending_soa_.Refresh(
+        Span<const Request* const>(ctx_.pending.data(), ctx_.pending.size()));
+    ctx_.arena = &batch_arena_;
+    ctx_.fleet_soa = &fleet_soa_;
+    ctx_.pending_soa = &pending_soa_;
+  } else {
+    ctx_.arena = nullptr;
+    ctx_.fleet_soa = nullptr;
+    ctx_.pending_soa = nullptr;
+  }
+
+  const uint64_t allocs_before = CurrentHeapAllocCount();
   auto t0 = std::chrono::steady_clock::now();
-  dispatcher_->OnBatch(&ctx);
+  dispatcher_->OnBatch(&ctx_);
   dispatch_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (steady) {
+    steady_alloc_samples_.push_back(CurrentHeapAllocCount() - allocs_before);
+  }
 
-  for (RequestId id : ctx.assigned) {
+  for (RequestId id : ctx_.assigned) {
     auto it = id2idx_.find(id);
     SR_CHECK(it != id2idx_.end());
     CloseRequest(it->second, ReqState::kAssigned);
   }
-  for (RequestId id : ctx.rejected) {
+  for (RequestId id : ctx_.rejected) {
     auto it = id2idx_.find(id);
     SR_CHECK(it != id2idx_.end());
     CloseRequest(it->second, ReqState::kRejected);
   }
 
-  if (!ctx.repositions.empty()) ApplyRepositions(ctx.repositions);
+  if (!ctx_.repositions.empty()) ApplyRepositions(ctx_.repositions);
   if (owner_->repositioning_ != nullptr) {
     std::vector<const Request*> open;
     open.reserve(pending_.size());
@@ -599,6 +647,13 @@ RunMetrics SimulationEngine::EventRun::Finalize() {
   metrics.sharegraph_pair_checks = dispatcher_->SharePairChecks();
   metrics.memory_bytes = dispatcher_->MemoryBytes();
   metrics.late_dropoffs = late_dropoffs_;
+  if (!steady_alloc_samples_.empty()) {
+    std::vector<uint64_t> sorted = steady_alloc_samples_;
+    std::sort(sorted.begin(), sorted.end());
+    metrics.allocs_per_batch_p50 = sorted[(sorted.size() - 1) / 2];
+    metrics.allocs_per_batch_max = sorted.back();
+  }
+  metrics.arena_peak_bytes = EpochArena::ProcessPeakRetainedBytes();
   FinalizeServiceQuality(requests_, served_mask_, pickup_time_, dropoff_time_,
                          &metrics);
   return metrics;

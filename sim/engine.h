@@ -94,6 +94,18 @@ struct RunMetrics {
   // Repositioning (0 unless a policy is installed):
   int repositions = 0;          ///< completed empty relocation legs
   double reposition_cost = 0;   ///< their travel cost (inside travel_cost)
+  // Allocation discipline (DESIGN.md §8). A *steady-state* batch is a
+  // dispatch round whose pending pool is non-empty and contains no freshly
+  // released request — the warmed regime where the pooled paths promise
+  // zero heap allocations. Counts are heap allocations observed strictly
+  // inside Dispatcher::OnBatch under the counting allocator
+  // (util/alloc_gate.h); both stay 0 in binaries that don't link
+  // util/counting_new.cc, and in RunLegacy (frozen loop, not instrumented).
+  uint64_t allocs_per_batch_p50 = 0;  ///< nearest-rank median over steady batches
+  uint64_t allocs_per_batch_max = 0;  ///< worst steady batch
+  /// Peak bytes retained across every EpochArena in the process (chunks
+  /// stay warm over Reset); process-wide high-water mark, not per-run.
+  size_t arena_peak_bytes = 0;
 };
 
 class SimulationEngine {

@@ -1,0 +1,273 @@
+// The pooled-representation contract (DESIGN.md §8): every pooled twin —
+// arena-scratch insertion, ApplyInsertionInto, the SchedulePool-backed
+// kinetic tree, EnumerateGroupsPooled, and the full soa_pools engine path —
+// must reproduce its legacy vector-backed reference bitwise: same
+// feasibility, same positions, same costs, same stops, same group order,
+// same travel-cost query sequence. Randomized over seeded workloads so the
+// pin covers shapes nobody hand-picked.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/insertion.h"
+#include "core/kinetic_tree.h"
+#include "group/grouping.h"
+#include "roadnet/generator.h"
+#include "sharegraph/builder.h"
+#include "sim/datasets.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+namespace structride {
+namespace {
+
+struct SoaFixture : public ::testing::Test {
+  SoaFixture() {
+    CityOptions opt;
+    opt.rows = 12;
+    opt.cols = 12;
+    opt.seed = 47;
+    net = GenerateGridCity(opt);
+    engine = std::make_unique<TravelCostEngine>(net);
+    DeadlinePolicy policy;
+    policy.gamma = 1.8;
+    WorkloadOptions wopts;
+    wopts.num_requests = 80;
+    wopts.duration = 80;
+    wopts.seed = 13;
+    requests = GenerateWorkload(net, engine.get(), policy, wopts);
+  }
+  RoadNetwork net;
+  std::unique_ptr<TravelCostEngine> engine;
+  std::vector<Request> requests;
+};
+
+void ExpectStopsEqual(Span<const Stop> a, Span<const Stop> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request, b[i].request);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].earliest, b[i].earliest);
+    EXPECT_EQ(a[i].deadline, b[i].deadline);
+  }
+}
+
+// Arena-scratch insertion is the legacy evaluation with the buffers moved:
+// identical candidate, bitwise, across random schedules, both pruning
+// settings, and repeated runs over a warmed thread-scratch arena.
+TEST_F(SoaFixture, BestInsertionArenaScratchMatchesLegacy) {
+  Rng rng(99);
+  int compared = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Request& seed = requests[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(requests.size()) - 1))];
+    RouteState state;
+    state.start = seed.source;
+    state.start_time = 0;
+    state.capacity = static_cast<int>(rng.UniformInt(2, 6));
+    Schedule schedule;
+    for (int step = 0; step < 6; ++step) {
+      const Request& r = requests[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(requests.size()) - 1))];
+      for (bool pruning : {true, false}) {
+        InsertionOptions arena_opts;
+        arena_opts.use_pruning = pruning;
+        arena_opts.use_arena_scratch = true;
+        InsertionOptions legacy_opts;
+        legacy_opts.use_pruning = pruning;
+        legacy_opts.use_arena_scratch = false;
+        InsertionCandidate a =
+            BestInsertion(state, schedule, r, engine.get(), arena_opts);
+        InsertionCandidate b =
+            BestInsertion(state, schedule, r, engine.get(), legacy_opts);
+        EXPECT_EQ(a.feasible, b.feasible);
+        if (a.feasible) {
+          EXPECT_EQ(a.pickup_pos, b.pickup_pos);
+          EXPECT_EQ(a.dropoff_pos, b.dropoff_pos);
+          EXPECT_EQ(a.delta_cost, b.delta_cost);  // bitwise
+          EXPECT_EQ(a.total_cost, b.total_cost);
+          ++compared;
+        }
+      }
+      InsertionCandidate grow = BestInsertion(state, schedule, r, engine.get());
+      if (grow.feasible) {
+        // Grow through the pooled writer and pin it against the legacy
+        // materialization as we go.
+        std::vector<Stop> staged(schedule.size() + 2);
+        size_t len =
+            ApplyInsertionInto(schedule.stops(), r, grow, staged.data());
+        Schedule legacy_grown = ApplyInsertion(schedule, r, grow);
+        ASSERT_EQ(len, legacy_grown.size());
+        ExpectStopsEqual(Span<const Stop>(staged.data(), len),
+                         legacy_grown.stops());
+        schedule = std::move(legacy_grown);
+      }
+    }
+  }
+  EXPECT_GT(compared, 20);
+}
+
+// The SchedulePool-backed kinetic tree holds the same orderings in the same
+// sequence as the one-vector-per-ordering backend, insert after insert.
+TEST_F(SoaFixture, KineticTreePooledMatchesLegacy) {
+  Rng rng(7);
+  int trees = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Request& seed = requests[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(requests.size()) - 1))];
+    RouteState state;
+    state.start = seed.source;
+    state.start_time = seed.release_time;
+    state.capacity = 4;
+    KineticTree pooled(state, /*use_pool=*/true);
+    KineticTree legacy(state, /*use_pool=*/false);
+    for (int step = 0; step < 5; ++step) {
+      const Request& r = requests[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(requests.size()) - 1))];
+      bool a = pooled.Insert(r, engine.get());
+      bool b = legacy.Insert(r, engine.get());
+      ASSERT_EQ(a, b);
+      ASSERT_EQ(pooled.NumSchedules(), legacy.NumSchedules());
+      for (size_t i = 0; i < pooled.NumSchedules(); ++i) {
+        ExpectStopsEqual(pooled.ScheduleAt(i), legacy.ScheduleAt(i));
+      }
+      EXPECT_EQ(pooled.BestCost(engine.get()), legacy.BestCost(engine.get()));
+      if (a) ++trees;
+    }
+  }
+  EXPECT_GT(trees, 5);
+}
+
+// EnumerateGroupsPooled appends the exact legacy group sequence — members,
+// schedules, deltas, truncation — into a scratch that it must keep
+// reproducing after Reset (the warmed steady-state reuse).
+TEST_F(SoaFixture, PooledGroupingMatchesLegacy) {
+  ShareGraphBuilderOptions bopts;
+  bopts.vehicle_capacity = 3;
+  ShareGraphBuilder builder(engine.get(), bopts);
+  builder.AddBatch(requests);
+
+  std::vector<const Request*> pool;
+  for (const Request& r : requests) pool.push_back(&r);
+
+  GroupingScratch scratch;
+  Rng rng(23);
+  for (auto policy : {InsertionOrderPolicy::kByShareability,
+                      InsertionOrderPolicy::kBestOfAllParents}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const Request& seed = requests[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(requests.size()) - 1))];
+      RouteState state;
+      state.start = seed.source;
+      state.start_time = 0;
+      state.capacity = 3;
+      GroupingOptions gopts;
+      gopts.max_group_size = 3;
+      gopts.insertion_order = policy;
+
+      GroupingResult legacy = EnumerateGroups(
+          state, Schedule(), requests, &builder.graph(), engine.get(), gopts);
+      // Two pooled passes over one Reset cycle: the second runs on warmed
+      // scratch capacity and must reproduce the first exactly.
+      for (int pass = 0; pass < 2; ++pass) {
+        scratch.Reset();
+        PooledGroupingResult pooled = EnumerateGroupsPooled(
+            state, Span<const Stop>(nullptr, 0),
+            Span<const Request* const>(pool.data(), pool.size()),
+            &builder.graph(), engine.get(), gopts, &scratch);
+        ASSERT_EQ(pooled.count, legacy.groups.size());
+        EXPECT_EQ(pooled.truncated, legacy.truncated);
+        for (size_t gi = 0; gi < pooled.count; ++gi) {
+          const CandidateGroup& lg = legacy.groups[gi];
+          const PooledGroup& pg = scratch.groups[pooled.first_group + gi];
+          Span<const RequestId> members = scratch.MembersOf(pg);
+          ASSERT_EQ(members.size(), lg.members.size());
+          for (size_t m = 0; m < members.size(); ++m) {
+            EXPECT_EQ(members[m], lg.members[m]);
+          }
+          EXPECT_EQ(pg.delta_cost, lg.delta_cost);  // bitwise
+          ExpectStopsEqual(scratch.ScheduleOf(pg), lg.schedule.stops());
+        }
+        // Instrumented accounting is representation-independent: one call's
+        // pooled slice counts the same content bytes as the legacy result.
+        EXPECT_EQ(PooledGroupingMemoryBytes(scratch, pooled),
+                  GroupingMemoryBytes(legacy));
+      }
+    }
+  }
+}
+
+// The end-to-end pin, the PR's acceptance bar: soa_pools on reproduces
+// soa_pools off through the full engine — served, unified cost, #SP queries
+// (and everything else observable, including instrumented memory, which the
+// pooled paths account size-based for exactly this reason) — on every
+// preset, for SARD (1 and 8 worker threads), GAS and RTV.
+TEST(SoaEngineTest, SoaPoolsMatchesLegacyRepresentationBitwise) {
+  struct Cell {
+    const char* algo;
+    int threads;
+  };
+  const Cell cells[] = {{"SARD", 1}, {"SARD", 8}, {"GAS", 1}, {"RTV", 1}};
+  for (const std::string& ds :
+       {std::string("CHD"), std::string("NYC"), std::string("Cainiao")}) {
+    for (const Cell& cell : cells) {
+      SCOPED_TRACE(ds + " " + cell.algo +
+                   " threads=" + std::to_string(cell.threads));
+      // A preset shrunk to unit-test size, one fresh fixture per run so the
+      // travel-cost caches and fault-model draws are identical.
+      auto make = [&ds]() {
+        DatasetSpec spec = DatasetByName(ds, 0.02);
+        const int side = ds == "CHD" ? 16 : (ds == "NYC" ? 18 : 14);
+        spec.city.rows = side;
+        spec.city.cols = side;
+        return spec;
+      };
+      auto run = [&](bool soa_pools) {
+        DatasetSpec spec = make();
+        RoadNetwork net = BuildNetwork(&spec);
+        TravelCostEngine engine(net);
+        auto reqs =
+            GenerateWorkload(net, &engine, spec.policy, spec.workload);
+        SimulationOptions sopts;
+        sopts.batch_period = 5;
+        sopts.seed = 4242;
+        sopts.dataset = spec.name;
+        SimulationEngine sim(&engine, reqs, sopts);
+        sim.SpawnFleet(std::max(3, spec.num_vehicles), spec.capacity);
+        DispatchConfig config;
+        config.vehicle_capacity = spec.capacity;
+        config.grouping.max_group_size = spec.capacity;
+        config.sharegraph.vehicle_capacity = spec.capacity;
+        if (cell.threads > 1) {
+          config.sard_parallel_acceptance = true;
+          config.num_threads = cell.threads;
+        }
+        config.soa_pools = soa_pools;
+        return sim.Run(cell.algo, config);
+      };
+      RunMetrics pooled = run(true);
+      RunMetrics legacy = run(false);
+      EXPECT_EQ(pooled.served, legacy.served);
+      EXPECT_EQ(pooled.cancelled, legacy.cancelled);
+      EXPECT_EQ(pooled.unified_cost, legacy.unified_cost);  // bitwise
+      EXPECT_EQ(pooled.travel_cost, legacy.travel_cost);
+      EXPECT_EQ(pooled.penalty_cost, legacy.penalty_cost);
+      EXPECT_EQ(pooled.service_rate, legacy.service_rate);
+      EXPECT_EQ(pooled.sp_queries, legacy.sp_queries);
+      EXPECT_EQ(pooled.sharegraph_pair_checks, legacy.sharegraph_pair_checks);
+      EXPECT_EQ(pooled.memory_bytes, legacy.memory_bytes);
+      EXPECT_EQ(pooled.pickup_wait_p50, legacy.pickup_wait_p50);
+      EXPECT_EQ(pooled.pickup_wait_p99, legacy.pickup_wait_p99);
+      EXPECT_EQ(pooled.mean_detour_ratio, legacy.mean_detour_ratio);
+      EXPECT_EQ(pooled.late_dropoffs, legacy.late_dropoffs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace structride

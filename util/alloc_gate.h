@@ -1,0 +1,37 @@
+// The counting-allocator gate (DESIGN.md §8). Targets that link
+// util/counting_new.cc get global operator new/delete overrides that count
+// every heap allocation into the atomic below and flip the active flag;
+// everything else sees a counter frozen at zero and an inactive gate.
+//
+// The simulation engine samples the counter around each dispatch round and
+// reports per-steady-round allocation counts in RunMetrics — the "zero heap
+// allocations per steady-state batch" guarantee is asserted by
+// tests/alloc_gate_test.cc (controlled pools, max == 0) and by
+// abl_parallel_scaling (real runs at 1/2/4/8 threads, median == 0).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace structride {
+namespace alloc_gate {
+
+inline std::atomic<uint64_t> g_heap_allocs{0};
+inline std::atomic<bool> g_counting_installed{false};
+
+}  // namespace alloc_gate
+
+/// Heap allocations observed so far; 0 forever unless counting_new.cc is
+/// linked into this binary.
+inline uint64_t CurrentHeapAllocCount() {
+  return alloc_gate::g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// True when the global operator new/delete overrides are present, i.e.
+/// the counter actually moves and per-batch deltas mean something.
+inline bool HeapAllocCountingActive() {
+  return alloc_gate::g_counting_installed.load(std::memory_order_relaxed);
+}
+
+}  // namespace structride

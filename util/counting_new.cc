@@ -1,0 +1,86 @@
+// Global operator new/delete overrides that count every heap allocation.
+// Linked ONLY into the gated targets (tests/alloc_gate_test,
+// abl_parallel_scaling) — never into the structride library — so ordinary
+// binaries pay nothing. One relaxed fetch_add per allocation; frees are
+// not counted (the gate is about allocation churn, and counting both
+// would double-charge every temporary).
+
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc_gate.h"
+
+namespace {
+
+// Flip the active flag during static initialization, before main.
+const bool g_installed = [] {
+  structride::alloc_gate::g_counting_installed.store(
+      true, std::memory_order_relaxed);
+  return true;
+}();
+
+void* CountedAlloc(std::size_t size) {
+  structride::alloc_gate::g_heap_allocs.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  structride::alloc_gate::g_heap_allocs.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : align) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  (void)g_installed;
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
