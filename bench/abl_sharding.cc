@@ -1,0 +1,120 @@
+// Geo-sharding ablation (DESIGN.md §12): SARD on the event core at 1, 2 and
+// 4 shards over the CHD preset. Two hard gates, both fatal (nonzero exit):
+//
+//   1-shard parity   the num_shards=1 cell must be *bitwise* identical to
+//                    the frozen legacy fixed-batch engine on served /
+//                    unified cost / #SP queries / service-quality stats —
+//                    the whole shard machinery must vanish at Z=1.
+//   N-shard census   at 2 and 4 shards every request must reach exactly one
+//                    terminal outcome: served + cancelled + expired +
+//                    rejected + late == total. (The engine additionally
+//                    SR_CHECKs vehicle/request conservation every round,
+//                    so a violation aborts the binary — also nonzero.)
+//
+// The sweep reports the sharding observables per cell: per-shard load
+// balance (max/mean of per-shard assignment counts) and the cross-shard
+// trip fraction (assignments that went through the boundary-escrow
+// handoff), both landing in the BENCH json via RecordJsonRow.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "sim/engine.h"
+
+using namespace structride;
+using namespace structride::bench;
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("\n================================================================\n");
+  std::printf("Geo-sharding ablation: SARD on CHD at 1/2/4 shards\n");
+  std::printf("================================================================\n");
+  std::printf("%-8s%8s%10s%16s%10s%12s%12s%10s\n", "shards", "served",
+              "service", "unified cost", "x-shard", "x-fraction", "load m/m",
+              "time (s)");
+
+  DatasetSpec spec = DatasetByName("CHD", scale);
+  RoadNetwork net = BuildNetwork(&spec);
+  TravelCostEngine engine(net);
+  auto requests = GenerateWorkload(net, &engine, spec.policy, spec.workload);
+
+  DispatchConfig config;
+  config.vehicle_capacity = spec.capacity;
+  config.grouping.max_group_size = spec.capacity;
+  config.sharegraph.vehicle_capacity = spec.capacity;
+
+  auto run_cell = [&](int num_shards, bool legacy) {
+    SimulationOptions sopts;
+    sopts.batch_period = 5;
+    sopts.seed = 4242;
+    sopts.dataset = "CHD";
+    SimulationEngine sim(&engine, requests, sopts);
+    sim.SpawnFleet(spec.num_vehicles, spec.capacity);
+    DispatchConfig cell_config = config;
+    cell_config.num_shards = num_shards;
+    return legacy ? sim.RunLegacy("SARD", cell_config)
+                  : sim.Run("SARD", cell_config);
+  };
+
+  // Warm the shared travel-cost cache so every recorded cell sees the same
+  // (hot) cache and #SP-query comparisons are apples-to-apples.
+  run_cell(1, /*legacy=*/false);
+
+  int failures = 0;
+  const RunMetrics legacy = run_cell(1, /*legacy=*/true);
+  for (int shards : {1, 2, 4}) {
+    RunMetrics m = run_cell(shards, /*legacy=*/false);
+    double frac = m.served > 0 ? static_cast<double>(m.cross_shard_trips) /
+                                     static_cast<double>(m.served)
+                               : 0;
+    RecordJsonRow("SARD", "shards=" + std::to_string(shards), m);
+    RecordJsonValue("SARD", "shards=" + std::to_string(shards),
+                    "cross_shard_fraction", frac);
+    std::printf("%-8d%8d%10.3f%16.0f%10d%12.4f%12.3f%10.2f\n", shards,
+                m.served, m.service_rate, m.unified_cost, m.cross_shard_trips,
+                frac, m.shard_load_max_over_mean, m.running_time);
+
+    if (shards == 1) {
+      bool same = m.served == legacy.served &&
+                  m.unified_cost == legacy.unified_cost &&
+                  m.sp_queries == legacy.sp_queries &&
+                  m.cancelled == legacy.cancelled &&
+                  m.expired == legacy.expired &&
+                  m.pickup_wait_p50 == legacy.pickup_wait_p50 &&
+                  m.pickup_wait_p99 == legacy.pickup_wait_p99 &&
+                  m.mean_detour_ratio == legacy.mean_detour_ratio;
+      if (!same || m.cross_shard_trips != 0 || m.num_shards != 1) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL: 1-shard run diverged from the legacy engine\n");
+      }
+    } else {
+      long closed = static_cast<long>(m.served) +
+                    static_cast<long>(m.cancelled) +
+                    static_cast<long>(m.expired) +
+                    static_cast<long>(m.rejected) +
+                    static_cast<long>(m.late_dropoffs);
+      if (closed != m.total_requests || m.num_shards != shards) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL: %d-shard census %ld != %d total requests\n",
+                     shards, closed, m.total_requests);
+      }
+    }
+  }
+
+  std::printf(
+      "\nThe shards=1 row must reproduce the legacy engine bitwise — the\n"
+      "partition degenerates to one zone and the coordinator replays the\n"
+      "exact single-region round. At 2/4 shards each zone dispatches its\n"
+      "own requests over its resident fleet; boundary requests re-home\n"
+      "through the escrow (the x-shard column counts trips assigned by a\n"
+      "foreign shard) and the census must still balance exactly.\n");
+  if (failures > 0) {
+    std::fprintf(stderr, "FAIL: %d sharding gate(s) violated\n", failures);
+    return 1;
+  }
+  return 0;
+}

@@ -87,9 +87,12 @@ void WriteJsonAtExit() {
         "\"running_time_s\": %.6f, \"sp_queries\": %llu, "
         "\"sharegraph_pair_checks\": %llu, \"memory_bytes\": "
         "%zu, \"served\": %d, \"cancelled\": %d, \"total_requests\": %d, "
+        "\"expired\": %d, \"rejected\": %d, "
         "\"pickup_wait_p50\": %.6f, \"pickup_wait_p99\": %.6f, "
         "\"mean_detour_ratio\": %.6f, \"late_dropoffs\": %d, "
         "\"repositions\": %d, \"reposition_cost\": %.6f, "
+        "\"num_shards\": %d, \"cross_shard_trips\": %d, "
+        "\"shard_load_max_over_mean\": %.6f, "
         "\"allocs_per_batch_p50\": %llu, \"allocs_per_batch_max\": %llu, "
         "\"arena_peak_bytes\": %zu}%s\n",
         JsonEscape(r.series).c_str(), JsonEscape(r.point).c_str(),
@@ -98,8 +101,10 @@ void WriteJsonAtExit() {
         m.running_time, static_cast<unsigned long long>(m.sp_queries),
         static_cast<unsigned long long>(m.sharegraph_pair_checks),
         m.memory_bytes, m.served, m.cancelled, m.total_requests,
+        m.expired, m.rejected,
         m.pickup_wait_p50, m.pickup_wait_p99, m.mean_detour_ratio,
         m.late_dropoffs, m.repositions, m.reposition_cost,
+        m.num_shards, m.cross_shard_trips, m.shard_load_max_over_mean,
         static_cast<unsigned long long>(m.allocs_per_batch_p50),
         static_cast<unsigned long long>(m.allocs_per_batch_max),
         m.arena_peak_bytes, i + 1 < state.rows.size() ? "," : "");
@@ -198,6 +203,21 @@ double BenchScale() {
   return s;
 }
 
+int BenchShards() {
+  const char* env = std::getenv("STRUCTRIDE_SHARDS");
+  if (env == nullptr) return 1;
+  char* end = nullptr;
+  long z = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || z < 1) {
+    std::fprintf(stderr,
+                 "[bench] ignoring STRUCTRIDE_SHARDS=\"%s\" (want a positive "
+                 "integer); using the default 1\n",
+                 env);
+    return 1;
+  }
+  return static_cast<int>(z);
+}
+
 std::vector<std::string> BenchAlgorithms() {
   const char* env = std::getenv("STRUCTRIDE_ALGOS");
   if (env == nullptr) return AllDispatcherNames();
@@ -260,6 +280,7 @@ RunMetrics BenchContext::Run(const std::string& algorithm,
   config.sharegraph.use_angle_pruning = params.angle_pruning;
   config.ilp_node_cap = 200'000;
   config.num_threads = 4;
+  config.num_shards = BenchShards();
 
   return sim.Run(algorithm, config);
 }

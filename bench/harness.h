@@ -62,6 +62,11 @@ class BenchContext {
 /// \brief Env-var scale (STRUCTRIDE_SCALE, default 0.25).
 double BenchScale();
 
+/// \brief Env-var shard count (STRUCTRIDE_SHARDS, default 1): every
+/// BenchContext::Run dispatches with DispatchConfig::num_shards set to this,
+/// so any figure/table bench replays geo-sharded without a rebuild.
+int BenchShards();
+
 /// \brief Escapes \p s for embedding inside a JSON string literal: quotes,
 /// backslashes, the named control escapes (\b \f \n \r \t) and \u00XX for
 /// every other byte below 0x20. Dataset/bench/series names flow into

@@ -6,6 +6,9 @@
 #   STRUCTRIDE_SCALE      sweep scale (default 0.05)
 #   STRUCTRIDE_ALGOS      algorithm filter passthrough
 #   STRUCTRIDE_BENCH_SET  all | sweep | micro (default all)
+#   STRUCTRIDE_SHARDS     geo-shard count for the sweep benches (default 1;
+#                         note abl_scenarios' legacy-parity baseline only
+#                         holds at 1 shard — see DESIGN.md §12)
 #   STRUCTRIDE_JSON_DIR   where BENCH_<name>.json results land
 #                         (default <build-dir>/bench_json)
 set -u
@@ -14,6 +17,20 @@ BUILD_DIR="${1:-build}"
 export STRUCTRIDE_SCALE="${STRUCTRIDE_SCALE:-0.05}"
 BENCH_SET="${STRUCTRIDE_BENCH_SET:-all}"
 export STRUCTRIDE_JSON_DIR="${STRUCTRIDE_JSON_DIR:-$BUILD_DIR/bench_json}"
+
+# Validate the shard knob here so a typo fails the whole sweep loudly
+# instead of every binary silently falling back to its default.
+if [ -n "${STRUCTRIDE_SHARDS:-}" ]; then
+  case "$STRUCTRIDE_SHARDS" in
+    ''|*[!0-9]*|0)
+      echo "warning: STRUCTRIDE_SHARDS='$STRUCTRIDE_SHARDS' is not a positive integer; ignoring (running single-shard)" >&2
+      unset STRUCTRIDE_SHARDS
+      ;;
+    *)
+      export STRUCTRIDE_SHARDS
+      ;;
+  esac
+fi
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
@@ -27,7 +44,7 @@ fig11_vary_capacity fig12_vary_penalty fig13_vary_batch fig14_memory
 fig15_cainiao fig16_capacity_sigma fig17_vary_sigma
 table5_angle_pruning_cainiao table6_angle_pruning
 abl_cancellations abl_incremental_sharegraph abl_parallel_scaling
-abl_scenarios abl_proposal_order
+abl_scenarios abl_proposal_order abl_sharding
 abl_angle_expectation abl_insertion_order abl_structure_metrics
 "
 MICRO_BENCHES="

@@ -20,9 +20,11 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "core/schedule.h"
 
@@ -117,6 +119,47 @@ class Vehicle {
   double reposition_leg_ = 0;
   int repositions_completed_ = 0;
   double reposition_cost_ = 0;
+};
+
+/// A possibly-restricted view over the one global fleet vector (geo-sharding,
+/// DESIGN.md §12). The simulation engine keeps a single fleet for the whole
+/// metro; a shard's dispatcher sees only its resident vehicles through the
+/// optional member-index plane. Every index a dispatcher hands out or
+/// receives (candidate scans, proposals, RepositionMove::vehicle) is
+/// view-local; global_index() translates back to fleet storage. An
+/// unrestricted view is a pure pass-through — view-local == global — which is
+/// what keeps the single-shard engine bitwise identical to the pre-sharding
+/// one. The members plane, when present, must hold strictly ascending fleet
+/// indices so deterministic (distance, index) tie breaks survive restriction.
+class FleetView {
+ public:
+  FleetView() = default;
+  // Implicit on purpose: every pre-sharding call site passes the whole fleet.
+  FleetView(std::vector<Vehicle>* storage) : storage_(storage) {}
+  FleetView(std::vector<Vehicle>* storage, const std::vector<size_t>* members)
+      : storage_(storage), members_(members) {}
+
+  size_t size() const {
+    if (members_ != nullptr) return members_->size();
+    return storage_ != nullptr ? storage_->size() : 0;
+  }
+  bool empty() const { return size() == 0; }
+
+  Vehicle& operator[](size_t i) const {
+    return (*storage_)[members_ != nullptr ? (*members_)[i] : i];
+  }
+
+  /// Fleet-storage index of view-local index \p i.
+  size_t global_index(size_t i) const {
+    return members_ != nullptr ? (*members_)[i] : i;
+  }
+
+  bool restricted() const { return members_ != nullptr; }
+  std::vector<Vehicle>* storage() const { return storage_; }
+
+ private:
+  std::vector<Vehicle>* storage_ = nullptr;
+  const std::vector<size_t>* members_ = nullptr;
 };
 
 }  // namespace structride

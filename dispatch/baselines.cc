@@ -43,7 +43,7 @@ class PruneGdpDispatcher : public Dispatcher {
  private:
   void OnBatchPooled(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     scanner_.Rebuild(fleet, ctx->engine->network(), config_.use_spatial_index);
     ArenaScope batch_scope(ScratchArena());
     size_t* nearest = batch_scope.AllocateArray<size_t>(fleet.size());
@@ -89,7 +89,7 @@ class PruneGdpDispatcher : public Dispatcher {
 
   void OnBatchLegacy(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
     dispatch::CandidateScanner scanner(fleet, net, config_.use_spatial_index);
     for (const Request* r : ctx->pending) {
@@ -144,7 +144,7 @@ class TicketAssignDispatcher : public Dispatcher {
 
   void OnBatchPooled(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     scanner_.Rebuild(fleet, ctx->engine->network(), config_.use_spatial_index);
     for (const Request* r : ctx->pending) {
       bool placed = false;
@@ -174,7 +174,7 @@ class TicketAssignDispatcher : public Dispatcher {
 
   void OnBatchLegacy(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
     dispatch::CandidateScanner scanner(fleet, net, config_.use_spatial_index);
     for (const Request* r : ctx->pending) {
@@ -222,7 +222,7 @@ class DarmDprsDispatcher : public Dispatcher {
 
   void OnBatchPooled(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     scanner_.Rebuild(fleet, ctx->engine->network(), config_.use_spatial_index);
     for (const Request* r : ctx->pending) {
       double best = kInf;
@@ -260,7 +260,7 @@ class DarmDprsDispatcher : public Dispatcher {
 
   void OnBatchLegacy(DispatchContext* ctx) {
     if (ctx->pending.empty()) return;  // drain phase: don't build the index
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     const RoadNetwork& net = ctx->engine->network();
     dispatch::CandidateScanner scanner(fleet, net, config_.use_spatial_index);
     for (const Request* r : ctx->pending) {

@@ -104,9 +104,9 @@ class GraphBatchDispatcher : public Dispatcher {
     pending_soa_.Refresh({ctx->pending.data(), ctx->pending.size()});
     return &pending_soa_;
   }
-  const FleetSoA* FleetView(DispatchContext* ctx) {
+  const FleetSoA* FleetPlanes(DispatchContext* ctx) {
     if (ctx->fleet_soa != nullptr) return ctx->fleet_soa;
-    fleet_soa_.Refresh(*ctx->fleet);
+    fleet_soa_.Refresh(ctx->fleet);
     return &fleet_soa_;
   }
 
@@ -135,11 +135,11 @@ class GasDispatcher : public GraphBatchDispatcher {
 
  private:
   void OnBatchPooled(DispatchContext* ctx) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     if (ctx->pending.empty()) return;
     EpochArena* arena = BatchArena(ctx);
     const RequestSoA* soa = PendingView(ctx);
-    const FleetSoA* fsoa = FleetView(ctx);
+    const FleetSoA* fsoa = FleetPlanes(ctx);
     const size_t num_pending = ctx->pending.size();
 
     std::optional<ShareGraphBuilder> local;
@@ -227,7 +227,7 @@ class GasDispatcher : public GraphBatchDispatcher {
   }
 
   void OnBatchLegacy(DispatchContext* ctx) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     std::vector<Request> pool;
     pool.reserve(ctx->pending.size());
     for (const Request* r : ctx->pending) pool.push_back(*r);
@@ -303,11 +303,11 @@ class RtvDispatcher : public GraphBatchDispatcher {
 
  private:
   void OnBatchPooled(DispatchContext* ctx) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     if (ctx->pending.empty()) return;
     EpochArena* arena = BatchArena(ctx);
     const RequestSoA* soa = PendingView(ctx);
-    const FleetSoA* fsoa = FleetView(ctx);
+    const FleetSoA* fsoa = FleetPlanes(ctx);
     const size_t num_pending = ctx->pending.size();
 
     // RR edges (the shareability graph) and per-vehicle trip enumeration.
@@ -442,7 +442,7 @@ class RtvDispatcher : public GraphBatchDispatcher {
   }
 
   void OnBatchLegacy(DispatchContext* ctx) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     std::vector<Request> pool;
     pool.reserve(ctx->pending.size());
     for (const Request* r : ctx->pending) pool.push_back(*r);

@@ -5,7 +5,7 @@
 namespace structride {
 namespace dispatch {
 
-std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
+std::vector<size_t> VehiclesByDistance(const FleetView& fleet,
                                        const RoadNetwork& net, NodeId from) {
   std::vector<size_t> order;
   order.reserve(fleet.size());
@@ -22,17 +22,30 @@ std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
   return order;
 }
 
-void CandidateScanner::Rebuild(const std::vector<Vehicle>& fleet,
-                               const RoadNetwork& net, bool use_index) {
-  fleet_ = &fleet;
+std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
+                                       const RoadNetwork& net, NodeId from) {
+  // Read-only delegation; nothing mutates through the view.
+  return VehiclesByDistance(
+      FleetView(const_cast<std::vector<Vehicle>*>(&fleet)), net, from);
+}
+
+void CandidateScanner::Rebuild(const FleetView& fleet, const RoadNetwork& net,
+                               bool use_index) {
+  fleet_ = fleet;
   net_ = &net;
   use_index_ = use_index;
   if (use_index_) index_.Rebuild(fleet, net);
 }
 
+void CandidateScanner::Rebuild(const std::vector<Vehicle>& fleet,
+                               const RoadNetwork& net, bool use_index) {
+  Rebuild(FleetView(const_cast<std::vector<Vehicle>*>(&fleet)), net,
+          use_index);
+}
+
 std::vector<size_t> CandidateScanner::Nearest(NodeId from, size_t k) const {
   if (use_index_) return index_.KNearest(from, k);
-  std::vector<size_t> order = VehiclesByDistance(*fleet_, *net_, from);
+  std::vector<size_t> order = VehiclesByDistance(fleet_, *net_, from);
   if (order.size() > k) order.resize(k);
   return order;
 }
@@ -40,11 +53,11 @@ std::vector<size_t> CandidateScanner::Nearest(NodeId from, size_t k) const {
 std::vector<size_t> CandidateScanner::NearestWithin(NodeId from, size_t k,
                                                     double max_dist) const {
   if (use_index_) return index_.KNearestWithin(from, k, max_dist);
-  std::vector<size_t> order = VehiclesByDistance(*fleet_, *net_, from);
+  std::vector<size_t> order = VehiclesByDistance(fleet_, *net_, from);
   std::vector<size_t> out;
   for (size_t vi : order) {
     if (out.size() >= k) break;
-    if (net_->EuclidLowerBound((*fleet_)[vi].node(), from) > max_dist) break;
+    if (net_->EuclidLowerBound(fleet_[vi].node(), from) > max_dist) break;
     out.push_back(vi);
   }
   return out;

@@ -12,11 +12,14 @@
 namespace structride {
 namespace dispatch {
 
-/// In-service fleet indices sorted by straight-line distance from \p from
-/// (ties by vehicle index, so orderings are deterministic); vehicles a
-/// scenario pulled out of service are omitted. The legacy full-fleet scan:
+/// In-service view-local fleet indices sorted by straight-line distance from
+/// \p from (ties by vehicle index, so orderings are deterministic); vehicles
+/// a scenario pulled out of service are omitted. The legacy full-fleet scan:
 /// O(F log F) per call. Kept as the spatial index's ground truth and as the
-/// serial baseline behind `DispatchConfig::use_spatial_index=false`.
+/// serial baseline behind `DispatchConfig::use_spatial_index=false`. Under
+/// geo-sharding the view restricts the scan to one shard's residents.
+std::vector<size_t> VehiclesByDistance(const FleetView& fleet,
+                                       const RoadNetwork& net, NodeId from);
 std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
                                        const RoadNetwork& net, NodeId from);
 
@@ -30,11 +33,16 @@ std::vector<size_t> VehiclesByDistance(const std::vector<Vehicle>& fleet,
 class CandidateScanner {
  public:
   CandidateScanner() = default;
+  CandidateScanner(const FleetView& fleet, const RoadNetwork& net,
+                   bool use_index) {
+    Rebuild(fleet, net, use_index);
+  }
   CandidateScanner(const std::vector<Vehicle>& fleet, const RoadNetwork& net,
                    bool use_index) {
     Rebuild(fleet, net, use_index);
   }
 
+  void Rebuild(const FleetView& fleet, const RoadNetwork& net, bool use_index);
   void Rebuild(const std::vector<Vehicle>& fleet, const RoadNetwork& net,
                bool use_index);
 
@@ -56,7 +64,7 @@ class CandidateScanner {
   size_t MemoryBytes() const { return use_index_ ? index_.MemoryBytes() : 0; }
 
  private:
-  const std::vector<Vehicle>* fleet_ = nullptr;
+  FleetView fleet_;
   const RoadNetwork* net_ = nullptr;
   bool use_index_ = false;
   FleetSpatialIndex index_;

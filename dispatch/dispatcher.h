@@ -63,10 +63,20 @@ struct DispatchConfig {
   /// legacy vector-backed representation, which the pooled path must match
   /// bitwise on served / unified_cost / sp_queries (pinned by tests).
   bool soa_pools = true;
+  /// Geo-sharding (DESIGN.md §12): partition the metro into this many zones
+  /// and run one ShardRuntime (dispatcher + share graph + SoA planes + arena)
+  /// per zone, with cross-shard trips handled by the boundary escrow and
+  /// vehicle-migration events. 1 = single-region, bitwise identical to the
+  /// pre-sharding engine.
+  int num_shards = 1;
+  /// Partition grid columns override; 0 picks ceil(sqrt(num_shards)).
+  int shard_grid_cols = 0;
 };
 
 /// An empty relocation for an idle vehicle (the repositioning hook,
-/// DESIGN.md §6): move fleet index \p vehicle toward \p target.
+/// DESIGN.md §6): move view-local fleet index \p vehicle (relative to
+/// DispatchContext::fleet) toward \p target; the engine translates to
+/// fleet storage via FleetView::global_index before applying.
 struct RepositionMove {
   size_t vehicle = 0;
   NodeId target = 0;
@@ -75,7 +85,11 @@ struct RepositionMove {
 struct DispatchContext {
   double now = 0;
   TravelCostEngine* engine = nullptr;
-  std::vector<Vehicle>* fleet = nullptr;
+  /// The vehicles this dispatcher may scan and commit to. Unrestricted in
+  /// single-region runs; a shard's resident vehicles under geo-sharding
+  /// (DESIGN.md §12). All vehicle indices exchanged through this context are
+  /// view-local.
+  FleetView fleet;
   /// Worker pool owned by the caller (the simulation engine keeps one per
   /// run); dispatchers that parallelize use it instead of spawning threads
   /// per batch. Null means no pool — dispatchers fall back to a private one.
@@ -154,6 +168,10 @@ class Dispatcher {
 
 /// The paper's dispatcher roster, in comparison order.
 std::vector<std::string> AllDispatcherNames();
+
+/// Every name MakeDispatcher accepts (the roster plus aliases like
+/// "SARD-O"), in registry order.
+const std::vector<std::string>& ListDispatchers();
 
 /// Factory; SR_CHECK-fails on unknown names.
 std::unique_ptr<Dispatcher> MakeDispatcher(const std::string& name,

@@ -18,6 +18,14 @@ std::vector<std::string> AllDispatcherNames() {
   return {"RTV", "pruneGDP", "GAS", "TicketAssign+", "DARM+DPRS", "SARD"};
 }
 
+const std::vector<std::string>& ListDispatchers() {
+  // The roster plus the aliases the factory accepts.
+  static const std::vector<std::string> names = {
+      "RTV", "pruneGDP", "GAS", "TicketAssign+", "DARM+DPRS", "SARD",
+      "SARD-O"};
+  return names;
+}
+
 std::unique_ptr<Dispatcher> MakeDispatcher(const std::string& name,
                                            const DispatchConfig& config) {
   if (name == "RTV") return MakeRtv(config);
@@ -26,7 +34,13 @@ std::unique_ptr<Dispatcher> MakeDispatcher(const std::string& name,
   if (name == "TicketAssign+") return MakeTicketAssign(config);
   if (name == "DARM+DPRS") return MakeDarmDprs(config);
   if (name == "SARD" || name == "SARD-O") return MakeSard(config);
-  SR_LOG("unknown dispatcher '%s'", name.c_str());
+  std::string valid;
+  for (const std::string& n : ListDispatchers()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  SR_LOG("unknown dispatcher '%s' (valid names: %s)", name.c_str(),
+         valid.c_str());
   SR_CHECK(false);
   return nullptr;
 }

@@ -98,7 +98,7 @@ class SardDispatcher : public Dispatcher {
   // ---------------------------------------------------------------------
 
   void OnBatchPooled(DispatchContext* ctx) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     if (ctx->pending.empty()) return;
 
     ThreadPool* pool = WorkerPool(ctx);
@@ -279,7 +279,7 @@ class SardDispatcher : public Dispatcher {
   /// without touching the heap.
   size_t PriceGroupPooled(DispatchContext* ctx,
                           Span<const Request* const> mem, Proposal* out) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     size_t count = 0;
     NodeId anchor = mem[0]->source;
     size_t nearest[kCandidateVehicles];
@@ -336,7 +336,7 @@ class SardDispatcher : public Dispatcher {
   /// the spot. Member subsets are subspans — no copies.
   void AssignPooled(DispatchContext* ctx, Span<const Request* const> mem,
                     const Proposal* priced, size_t num_priced) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     ArenaScope scope(ScratchArena());
     if (priced == nullptr) {
       Proposal* local = scope.AllocateArray<Proposal>(kCandidateVehicles);
@@ -373,7 +373,7 @@ class SardDispatcher : public Dispatcher {
   // ---------------------------------------------------------------------
 
   void OnBatchLegacy(DispatchContext* ctx) {
-    std::vector<Vehicle>& fleet = *ctx->fleet;
+    const FleetView& fleet = ctx->fleet;
     if (ctx->pending.empty()) return;
 
     ThreadPool* pool = WorkerPool(ctx);

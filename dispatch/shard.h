@@ -1,0 +1,77 @@
+// Geo-sharding support (DESIGN.md §12): the zone partition of a metro and
+// the per-zone runtime bundle the simulation engine coordinates.
+//
+// The partition reuses the FleetSpatialIndex grid discipline — a uniform
+// grid over the road network's bounding box, row-major cells, every cell
+// past the shard count folded into the last shard — so zone membership is a
+// pure function of a node's position: cheap enough to evaluate on every
+// request release and stop completion, and identical across runs. With one
+// shard every node maps to zone 0 and the whole machinery degenerates to
+// the pre-sharding engine (the bitwise 1-shard gate).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/entity_pools.h"
+#include "dispatch/dispatcher.h"
+#include "util/arena.h"
+
+namespace structride {
+
+/// Row-major uniform-grid zone partition over the network's bounding box.
+class ShardPartition {
+ public:
+  /// Partitions \p net into \p num_shards zones. \p grid_cols overrides the
+  /// column count (0 picks ceil(sqrt(num_shards))); rows follow as
+  /// ceil(num_shards / cols). Cells beyond num_shards-1 fold into the last
+  /// shard so every node maps into [0, num_shards).
+  void Build(const RoadNetwork& net, int num_shards, int grid_cols = 0);
+
+  int ShardOfNode(NodeId node) const;
+
+  int num_shards() const { return num_shards_; }
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+
+ private:
+  const RoadNetwork* net_ = nullptr;
+  int num_shards_ = 1;
+  int cols_ = 1, rows_ = 1;
+  double min_x_ = 0, min_y_ = 0;
+  double cell_w_ = 1, cell_h_ = 1;
+};
+
+/// Everything one zone owns: its dispatcher instance, incrementally
+/// maintained share graph, SoA planes and batch arena, the resident vehicle
+/// set (ascending fleet indices — the restricted FleetView's member plane),
+/// and its dispatch context. The simulation engine drives all shards from
+/// the shared EventQueue and ThreadPool, in shard-id order, so N-shard runs
+/// stay deterministic.
+struct ShardRuntime {
+  int id = 0;
+  /// Resident fleet-storage indices, strictly ascending.
+  std::vector<size_t> members;
+  std::unique_ptr<Dispatcher> dispatcher;
+  std::unique_ptr<ShareGraphBuilder> sharegraph;
+  DispatchContext ctx;
+  EpochArena arena;
+  FleetSoA fleet_soa;
+  RequestSoA pending_soa;
+  /// Requests this shard has assigned over the whole run (the load-balance
+  /// numerator of RunMetrics::shard_load_max_over_mean).
+  uint64_t assigned_total = 0;
+};
+
+/// max(loads) / mean(loads); 0 when every load is zero (no assignments).
+double ShardLoadMaxOverMean(const std::vector<uint64_t>& loads);
+
+/// Fleet-storage index of the in-service vehicle nearest \p from by the
+/// straight-line lower bound (ties: lower index), or SIZE_MAX when none is
+/// in service. The escrow scan's "best-candidate vehicle" oracle.
+size_t NearestInServiceVehicle(const std::vector<Vehicle>& fleet,
+                               const RoadNetwork& net, NodeId from);
+
+}  // namespace structride

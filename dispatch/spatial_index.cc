@@ -33,12 +33,19 @@ double BoxDistance(const Point& q, double x0, double y0, double x1,
 
 void FleetSpatialIndex::Rebuild(const std::vector<Vehicle>& fleet,
                                 const RoadNetwork& net) {
+  // Read-only delegation; nothing mutates through the view.
+  Rebuild(FleetView(const_cast<std::vector<Vehicle>*>(&fleet)), net);
+}
+
+void FleetSpatialIndex::Rebuild(const FleetView& fleet,
+                                const RoadNetwork& net) {
   net_ = &net;
   positions_.clear();
   active_.clear();
   positions_.reserve(fleet.size());
   active_.reserve(fleet.size());
-  for (const Vehicle& v : fleet) {
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    const Vehicle& v = fleet[i];
     positions_.push_back(net.position(v.node()));
     active_.push_back(v.in_service() ? 1 : 0);
   }

@@ -36,7 +36,10 @@ class FleetSpatialIndex {
   }
 
   /// Re-indexes the fleet's batch-start positions, reusing every plane's
-  /// capacity. Call once per batch.
+  /// capacity. Call once per batch. Indices stored and returned are
+  /// view-local; a shard's restricted view (DESIGN.md §12) yields a
+  /// shard-local index over its residents only.
+  void Rebuild(const FleetView& fleet, const RoadNetwork& net);
   void Rebuild(const std::vector<Vehicle>& fleet, const RoadNetwork& net);
 
   /// The k nearest fleet indices to \p from, ordered by (distance, index).

@@ -214,9 +214,9 @@ void ShareGraphBuilder::AddRequests(Span<const Request> batch) {
   }
 }
 
-void ShareGraphBuilder::RemoveRequest(RequestId id) {
+bool ShareGraphBuilder::RemoveRequest(RequestId id) {
   auto it = requests_.find(id);
-  if (it == requests_.end()) return;
+  if (it == requests_.end()) return false;
   // End of lifetime: purge the pair memo through the reverse partner index,
   // both directions, so the index mirrors the memo exactly and the whole
   // structure stays proportional to the live pair set (a request that
@@ -237,6 +237,7 @@ void ShareGraphBuilder::RemoveRequest(RequestId id) {
   }
   graph_.RemoveNode(id);  // also retires the pairing-order slot
   requests_.erase(it);
+  return true;
 }
 
 void ShareGraphBuilder::RemoveRequests(const std::vector<RequestId>& ids) {

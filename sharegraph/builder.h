@@ -77,8 +77,10 @@ class ShareGraphBuilder {
   /// directions) through the reverse partner index, and its slot in the
   /// insertion order is tombstoned (compacted lazily). Unknown ids are
   /// ignored, so lifecycle events may fire for requests that never
-  /// reached a dispatch round.
-  void RemoveRequest(RequestId id);
+  /// reached a dispatch round. Returns whether the request was present —
+  /// under geo-sharding a lifecycle event retires a request from every
+  /// shard's builder, and only the shard(s) that synced it report true.
+  bool RemoveRequest(RequestId id);
   void RemoveRequests(const std::vector<RequestId>& ids);
 
   /// Drops every request not in \p keep (assigned, expired or cancelled

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "dispatch/shard.h"
 #include "sim/event_queue.h"
 #include "util/alloc_gate.h"
 #include "util/logging.h"
@@ -176,37 +178,26 @@ class SimulationEngine::EventRun : public ScenarioHost {
   }
 
   void RetimeWindow(double begin, double end, double factor) override {
-    SR_CHECK(installing_);  // the stream is scheduled right after install
-    SR_CHECK(end > begin);
-    SR_CHECK(factor > 0);
-    for (Request& r : requests_) {
-      if (r.release_time < begin || r.release_time >= end) continue;
-      double retimed = begin + (r.release_time - begin) / factor;
-      double delta = retimed - r.release_time;
-      r.release_time = retimed;
-      r.deadline += delta;        // slack-preserving shift
-      r.latest_pickup += delta;
-    }
+    RetimeImpl(/*zone=*/-1, begin, end, factor);
+  }
+
+  void RetimeZoneWindow(int zone, double begin, double end,
+                        double factor) override {
+    RetimeImpl(zone, begin, end, factor);
   }
 
   int PullVehicles(int count) override {
-    SR_CHECK(current_scenario_ >= 0);  // only from OnInstall / OnEvent
-    int pulled = 0;
-    // Idle vehicles first, then busy ones, ascending index: deterministic
-    // and least disruptive to committed riders.
-    for (int want_idle = 1; want_idle >= 0; --want_idle) {
-      for (size_t vi = 0; vi < fleet_.size() && pulled < count; ++vi) {
-        Vehicle& v = fleet_[vi];
-        if (!v.in_service() || static_cast<int>(v.idle()) != want_idle) {
-          continue;
-        }
-        v.CancelReposition();  // off-duty vehicles stop chasing demand
-        v.set_in_service(false);
-        pulled_stack_.push_back({vi, current_scenario_});
-        ++pulled;
-      }
-    }
-    return pulled;
+    return PullImpl(/*zone=*/-1, count);
+  }
+
+  int PullVehiclesInZone(int zone, int count) override {
+    return PullImpl(zone, count);
+  }
+
+  int num_zones() const override { return num_shards_; }
+
+  int ZoneOfNode(NodeId node) const override {
+    return partition_.ShardOfNode(node);
   }
 
   int RestoreVehicles(int count) override {
@@ -249,6 +240,14 @@ class SimulationEngine::EventRun : public ScenarioHost {
   void RecordStop(const Stop& stop, double when);
   bool AllVehiclesIdle() const;
   RunMetrics Finalize();
+  void RetimeImpl(int zone, double begin, double end, double factor);
+  int PullImpl(int zone, int count);
+  // Geo-sharding (DESIGN.md §12); every one of these is a no-op or
+  // unreachable when num_shards_ == 1.
+  void MigrateVehicle(size_t vi);
+  void DrainEscrow();
+  void ScheduleEscrow();
+  void CheckConservation() const;
 
   SimulationEngine* owner_;
   TravelCostEngine* engine_;
@@ -276,29 +275,32 @@ class SimulationEngine::EventRun : public ScenarioHost {
   std::vector<PulledVehicle> pulled_stack_;
 
   EventQueue queue_;
-  std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<ThreadPool> pool_;
-  /// The run's incrementally maintained share graph (DESIGN.md §7), handed
-  /// to every round via DispatchContext::sharegraph. Lifecycle events
-  /// (assignment, rejection, cancellation, expiry) retire requests here in
-  /// O(degree); dispatchers fold only the fresh slice in. Null when
-  /// DispatchConfig::incremental_sharegraph is off — graph dispatchers then
-  /// run their frozen rebuild/private-builder reference paths.
-  std::unique_ptr<ShareGraphBuilder> sharegraph_;
-  /// Round-scoped pooled state (DESIGN.md §8), owned here so no round pays
-  /// a fresh construction: the context itself (output vectors keep their
-  /// capacity), the batch bump arena (reset before each round), and the
-  /// SoA planes (refreshed in place before each round). Only wired into
-  /// the context when DispatchConfig::soa_pools is on; the legacy
-  /// representation gets null pooled fields, exactly like a hand-built
-  /// context.
-  DispatchContext ctx_;
-  EpochArena batch_arena_;
-  FleetSoA fleet_soa_;
-  RequestSoA pending_soa_;
+  /// The zone partition and one runtime per zone (DESIGN.md §12). Each
+  /// ShardRuntime owns its dispatcher instance, its incrementally
+  /// maintained share graph (null when DispatchConfig::incremental_sharegraph
+  /// is off), its persistent DispatchContext (outputs keep their capacity
+  /// across rounds), and its round-scoped arena/SoA pools (DESIGN.md §8).
+  /// With num_shards_ == 1 the single runtime sees the unrestricted fleet
+  /// and the whole pending pool — the exact pre-sharding round, bitwise.
+  ShardPartition partition_;
+  std::vector<std::unique_ptr<ShardRuntime>> shards_;
+  std::vector<int> vehicle_shard_;  ///< resident shard per fleet index
+  std::vector<int> request_shard_;  ///< owning shard per request index
+  /// Boundary escrow: requests whose best candidate vehicle sat across a
+  /// zone edge at the end of a round; drained (state-rechecked) at the
+  /// start of the next round, re-homing the request to that shard.
+  struct EscrowEntry {
+    size_t request = 0;
+    int to_shard = 0;
+  };
+  std::vector<EscrowEntry> escrow_;
   /// Heap allocations inside OnBatch, one sample per steady-state round
   /// (see RunMetrics); all-zero unless the counting allocator is linked.
   std::vector<uint64_t> steady_alloc_samples_;
+  /// Reposition moves arrive view-local from each shard's context; this
+  /// persistent scratch holds the storage-index translation per round.
+  std::vector<RepositionMove> round_moves_;
 
   double now_ = 0;
   double tick_time_ = 0;
@@ -310,7 +312,11 @@ class SimulationEngine::EventRun : public ScenarioHost {
   size_t open_count_ = 0;
   int served_ = 0;
   int cancelled_ = 0;
+  int expired_ = 0;
+  int rejected_ = 0;
   int late_dropoffs_ = 0;
+  int num_shards_ = 1;
+  int cross_shard_trips_ = 0;
   double dispatch_seconds_ = 0;
   uint64_t queries_before_ = 0;
 };
@@ -328,20 +334,39 @@ RunMetrics SimulationEngine::EventRun::Execute() {
   dropoff_time_.assign(n, 0);
   scheduled_epoch_.assign(fleet_.size(), kNoEpoch);
 
-  dispatcher_ = MakeDispatcher(algorithm_, config_);
-  // One worker pool per run, shared by every round the dispatcher handles —
-  // thread startup never recurs per batch. Only built when some dispatcher
-  // stage actually consumes it (today: SARD's parallel acceptance).
+  // One worker pool per run, shared by every shard's rounds — thread
+  // startup never recurs per batch. Only built when some dispatcher stage
+  // actually consumes it (today: SARD's parallel acceptance).
   if (config_.num_threads > 1 && config_.sard_parallel_acceptance) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
-  // One share graph per run: free (empty containers) for dispatchers that
-  // never sync into it, incremental for those that do.
-  if (config_.incremental_sharegraph) {
-    sharegraph_ =
-        std::make_unique<ShareGraphBuilder>(engine_, config_.sharegraph);
-    sharegraph_->set_memoize_pairs(true);  // outlives every batch
+  // The zone partition and one runtime per zone. Each shard gets its own
+  // dispatcher instance and (when incremental maintenance is on) its own
+  // share graph: free (empty containers) for dispatchers that never sync
+  // into it, incremental for those that do, outliving every batch.
+  num_shards_ = std::max(1, config_.num_shards);
+  partition_.Build(engine_->network(), num_shards_, config_.shard_grid_cols);
+  shards_.clear();
+  shards_.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    auto sh = std::make_unique<ShardRuntime>();
+    sh->id = s;
+    sh->dispatcher = MakeDispatcher(algorithm_, config_);
+    if (config_.incremental_sharegraph) {
+      sh->sharegraph =
+          std::make_unique<ShareGraphBuilder>(engine_, config_.sharegraph);
+      sh->sharegraph->set_memoize_pairs(true);
+    }
+    shards_.push_back(std::move(sh));
   }
+  // Vehicles home to the zone of their spawn node; filling in fleet order
+  // keeps every member list ascending (the FleetView contract).
+  vehicle_shard_.resize(fleet_.size());
+  for (size_t vi = 0; vi < fleet_.size(); ++vi) {
+    vehicle_shard_[vi] = partition_.ShardOfNode(fleet_[vi].node());
+    shards_[static_cast<size_t>(vehicle_shard_[vi])]->members.push_back(vi);
+  }
+  request_shard_.assign(n, 0);
   queries_before_ = engine_->num_queries();
 
   // Install phase: scenarios reshape the per-run stream and schedule their
@@ -383,6 +408,9 @@ RunMetrics SimulationEngine::EventRun::Execute() {
       case EventType::kStopCompletion:
         HandleStopEvent(static_cast<size_t>(e.a), e.b);
         break;
+      case EventType::kVehicleMigration:
+        MigrateVehicle(static_cast<size_t>(e.a));
+        break;
       case EventType::kScenario:
         current_scenario_ = e.a;
         owner_->scenarios_[static_cast<size_t>(e.a)]->OnEvent(this, e.b);
@@ -408,6 +436,7 @@ RunMetrics SimulationEngine::EventRun::Execute() {
       case EventType::kRiderExpiry:
         if (state_[static_cast<size_t>(e.a)] == ReqState::kOpen) {
           CloseRequest(static_cast<size_t>(e.a), ReqState::kExpired);
+          ++expired_;
         }
         break;
     }
@@ -429,6 +458,7 @@ void SimulationEngine::EventRun::OpenRequest(size_t idx) {
   ++open_count_;
   ++released_;
   pending_.push_back(idx);
+  request_shard_[idx] = partition_.ShardOfNode(requests_[idx].source);
   const Request& r = requests_[idx];
   // Lifecycle events are scheduled lazily at release so retimed requests
   // carry their shifted deadlines and cancellation countdowns naturally.
@@ -460,9 +490,40 @@ void SimulationEngine::EventRun::HandleStopEvent(size_t vi, int64_t epoch) {
     RecordStop(stop, when);
   });
   SyncVehicle(vi);
+  // Vehicle migration is a first-class event: crossing a zone edge at a
+  // stop queues a re-home at the same timestamp. The event slot orders
+  // after every same-time stop completion and before the same-time batch
+  // tick (sim/event_queue.h), so a round always sees settled residency.
+  if (num_shards_ > 1 &&
+      partition_.ShardOfNode(v.node()) != vehicle_shard_[vi]) {
+    queue_.Push({now_, EventType::kVehicleMigration,
+                 static_cast<int64_t>(vi), 0});
+  }
+}
+
+void SimulationEngine::EventRun::MigrateVehicle(size_t vi) {
+  if (num_shards_ <= 1) return;
+  // Re-check against fresh state: a vehicle can cross several edges (or
+  // bounce back) between the queued event and now; the handler is
+  // idempotent and later duplicates self-drop here.
+  const int zone = partition_.ShardOfNode(fleet_[vi].node());
+  const int cur = vehicle_shard_[vi];
+  if (zone == cur) return;
+  std::vector<size_t>& from = shards_[static_cast<size_t>(cur)]->members;
+  auto it = std::lower_bound(from.begin(), from.end(), vi);
+  SR_CHECK(it != from.end() && *it == vi);
+  from.erase(it);
+  std::vector<size_t>& to = shards_[static_cast<size_t>(zone)]->members;
+  to.insert(std::lower_bound(to.begin(), to.end(), vi), vi);
+  vehicle_shard_[vi] = zone;
 }
 
 void SimulationEngine::EventRun::DispatchRound(bool online) {
+  // Boundary escrow drains first: a request whose best candidate sat
+  // across a zone edge at the end of the previous round re-homes to that
+  // shard before anyone dispatches this round.
+  if (num_shards_ > 1) DrainEscrow();
+
   // The one mark-and-sweep over request state: lifecycle events and the
   // previous round's assignments only *marked* states; this compaction
   // replaces both of the legacy loop's pending-filter passes.
@@ -470,63 +531,93 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
 
   // Steady-state classification (RunMetrics doc): the round counts when
   // every pending request has already been through a dispatch round — the
-  // pools-are-warm regime the zero-allocation guarantee covers.
+  // pools-are-warm regime the zero-allocation guarantee covers. The
+  // classification stays global: the guarantee covers the whole round
+  // across every shard, so the sample below sums the per-shard deltas.
   bool steady = !pending_.empty();
   for (size_t idx : pending_) {
     if (!dispatched_[idx]) steady = false;
     dispatched_[idx] = 1;
   }
 
-  // The context persists across rounds: outputs keep their capacity, the
-  // pending view is rebuilt in place, the arena rewinds over warm chunks.
-  ctx_.now = now_;
-  ctx_.engine = engine_;
-  ctx_.fleet = &fleet_;
-  ctx_.pool = pool_.get();
-  ctx_.online_event = online;
-  ctx_.sharegraph = sharegraph_.get();
-  ctx_.assigned.clear();
-  ctx_.rejected.clear();
-  ctx_.repositions.clear();
-  ctx_.pending.clear();
-  ctx_.pending.reserve(pending_.size());
-  for (size_t idx : pending_) ctx_.pending.push_back(&requests_[idx]);
-  if (config_.soa_pools) {
-    batch_arena_.Reset();
-    fleet_soa_.Refresh(fleet_);
-    pending_soa_.Refresh(
-        Span<const Request* const>(ctx_.pending.data(), ctx_.pending.size()));
-    ctx_.arena = &batch_arena_;
-    ctx_.fleet_soa = &fleet_soa_;
-    ctx_.pending_soa = &pending_soa_;
-  } else {
-    ctx_.arena = nullptr;
-    ctx_.fleet_soa = nullptr;
-    ctx_.pending_soa = nullptr;
-  }
+  uint64_t round_allocs = 0;
+  round_moves_.clear();
+  for (std::unique_ptr<ShardRuntime>& shp : shards_) {
+    ShardRuntime& sh = *shp;
+    // Each shard's context persists across rounds: outputs keep their
+    // capacity, the pending view is rebuilt in place, the arena rewinds
+    // over warm chunks. A single shard sees the unrestricted fleet — the
+    // pre-sharding context, bitwise.
+    DispatchContext& ctx = sh.ctx;
+    ctx.now = now_;
+    ctx.engine = engine_;
+    ctx.fleet = num_shards_ == 1 ? FleetView(&fleet_)
+                                 : FleetView(&fleet_, &sh.members);
+    ctx.pool = pool_.get();
+    ctx.online_event = online;
+    ctx.sharegraph = sh.sharegraph.get();
+    ctx.assigned.clear();
+    ctx.rejected.clear();
+    ctx.repositions.clear();
+    ctx.pending.clear();
+    ctx.pending.reserve(pending_.size());
+    for (size_t idx : pending_) {
+      if (num_shards_ > 1 && request_shard_[idx] != sh.id) continue;
+      ctx.pending.push_back(&requests_[idx]);
+    }
+    if (config_.soa_pools) {
+      sh.arena.Reset();
+      sh.fleet_soa.Refresh(ctx.fleet);
+      sh.pending_soa.Refresh(
+          Span<const Request* const>(ctx.pending.data(), ctx.pending.size()));
+      ctx.arena = &sh.arena;
+      ctx.fleet_soa = &sh.fleet_soa;
+      ctx.pending_soa = &sh.pending_soa;
+    } else {
+      ctx.arena = nullptr;
+      ctx.fleet_soa = nullptr;
+      ctx.pending_soa = nullptr;
+    }
 
-  const uint64_t allocs_before = CurrentHeapAllocCount();
-  auto t0 = std::chrono::steady_clock::now();
-  dispatcher_->OnBatch(&ctx_);
-  dispatch_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  if (steady) {
-    steady_alloc_samples_.push_back(CurrentHeapAllocCount() - allocs_before);
-  }
+    const uint64_t allocs_before = CurrentHeapAllocCount();
+    auto t0 = std::chrono::steady_clock::now();
+    sh.dispatcher->OnBatch(&ctx);
+    dispatch_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    round_allocs += CurrentHeapAllocCount() - allocs_before;
 
-  for (RequestId id : ctx_.assigned) {
-    auto it = id2idx_.find(id);
-    SR_CHECK(it != id2idx_.end());
-    CloseRequest(it->second, ReqState::kAssigned);
+    for (RequestId id : ctx.assigned) {
+      auto it = id2idx_.find(id);
+      SR_CHECK(it != id2idx_.end());
+      const size_t idx = it->second;
+      if (num_shards_ > 1) {
+        // Conservation gate: no other shard may have closed it this round.
+        SR_CHECK(state_[idx] == ReqState::kOpen);
+        if (partition_.ShardOfNode(requests_[idx].source) != sh.id) {
+          ++cross_shard_trips_;  // the trip went through the escrow handoff
+        }
+      }
+      CloseRequest(idx, ReqState::kAssigned);
+      ++sh.assigned_total;
+    }
+    for (RequestId id : ctx.rejected) {
+      auto it = id2idx_.find(id);
+      SR_CHECK(it != id2idx_.end());
+      if (num_shards_ > 1) SR_CHECK(state_[it->second] == ReqState::kOpen);
+      CloseRequest(it->second, ReqState::kRejected);
+      ++rejected_;
+    }
+    // Dispatcher-proposed relocations arrive view-local; translate to
+    // fleet-storage indices, applied once after every shard ran.
+    for (const RepositionMove& mv : ctx.repositions) {
+      if (mv.vehicle >= ctx.fleet.size()) continue;
+      round_moves_.push_back({ctx.fleet.global_index(mv.vehicle), mv.target});
+    }
   }
-  for (RequestId id : ctx_.rejected) {
-    auto it = id2idx_.find(id);
-    SR_CHECK(it != id2idx_.end());
-    CloseRequest(it->second, ReqState::kRejected);
-  }
+  if (steady) steady_alloc_samples_.push_back(round_allocs);
 
-  if (!ctx_.repositions.empty()) ApplyRepositions(ctx_.repositions);
+  if (!round_moves_.empty()) ApplyRepositions(round_moves_);
   if (owner_->repositioning_ != nullptr) {
     std::vector<const Request*> open;
     open.reserve(pending_.size());
@@ -543,9 +634,82 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
     ApplyRepositions(moves);
   }
 
+  if (num_shards_ > 1) {
+    ScheduleEscrow();
+    CheckConservation();
+  }
+
   // Commits and repositions changed committed timelines; (re)queue one stop
   // event per vehicle with work in flight.
   for (size_t vi = 0; vi < fleet_.size(); ++vi) SyncVehicle(vi);
+}
+
+void SimulationEngine::EventRun::DrainEscrow() {
+  for (const EscrowEntry& e : escrow_) {
+    // Re-check against fresh state: the request may have been assigned,
+    // cancelled or expired since the entry was queued, or already re-homed
+    // by an earlier entry.
+    if (state_[e.request] != ReqState::kOpen) continue;
+    if (request_shard_[e.request] == e.to_shard) continue;
+    request_shard_[e.request] = e.to_shard;
+  }
+  escrow_.clear();
+}
+
+void SimulationEngine::EventRun::ScheduleEscrow() {
+  // End of round: every still-open request looks across the whole metro for
+  // its nearest in-service vehicle (straight-line lower bound — a routing
+  // probe here would distort sp_queries). If that candidate resides in a
+  // foreign shard, the request enters escrow toward it; the handoff lands
+  // at the start of the next round.
+  for (size_t idx : pending_) {
+    if (state_[idx] != ReqState::kOpen) continue;
+    const size_t vi = NearestInServiceVehicle(fleet_, engine_->network(),
+                                              requests_[idx].source);
+    if (vi == SIZE_MAX) continue;
+    const int target = vehicle_shard_[vi];
+    if (target != request_shard_[idx]) escrow_.push_back({idx, target});
+  }
+}
+
+void SimulationEngine::EventRun::CheckConservation() const {
+  // Vehicle conservation: the member lists are ascending, disjoint, and
+  // partition [0, fleet) exactly — no vehicle lost or duplicated by
+  // migration.
+  std::vector<char> seen(fleet_.size(), 0);
+  size_t total = 0;
+  for (const std::unique_ptr<ShardRuntime>& sh : shards_) {
+    for (size_t k = 0; k < sh->members.size(); ++k) {
+      const size_t vi = sh->members[k];
+      SR_CHECK(vi < fleet_.size());
+      SR_CHECK(!seen[vi]);
+      seen[vi] = 1;
+      SR_CHECK(vehicle_shard_[vi] == sh->id);
+      if (k > 0) SR_CHECK(sh->members[k - 1] < vi);
+      ++total;
+    }
+  }
+  SR_CHECK(total == fleet_.size());
+  // Request conservation: the per-outcome counters (incremented exactly
+  // once at each closure site) agree with the state array, so no request
+  // was double-closed or dropped.
+  size_t open = 0, cancelled = 0, expired = 0, rejected = 0, unreleased = 0;
+  for (ReqState s : state_) {
+    switch (s) {
+      case ReqState::kUnreleased: ++unreleased; break;
+      case ReqState::kOpen: ++open; break;
+      case ReqState::kCancelled: ++cancelled; break;
+      case ReqState::kExpired: ++expired; break;
+      case ReqState::kRejected: ++rejected; break;
+      case ReqState::kAssigned:
+      case ReqState::kServed: break;
+    }
+  }
+  SR_CHECK(open == open_count_);
+  SR_CHECK(unreleased == state_.size() - released_);
+  SR_CHECK(cancelled == static_cast<size_t>(cancelled_));
+  SR_CHECK(expired == static_cast<size_t>(expired_));
+  SR_CHECK(rejected == static_cast<size_t>(rejected_));
 }
 
 void SimulationEngine::EventRun::SweepPending() {
@@ -559,11 +723,55 @@ void SimulationEngine::EventRun::SweepPending() {
 void SimulationEngine::EventRun::CloseRequest(size_t idx, ReqState to) {
   if (state_[idx] == ReqState::kOpen) --open_count_;
   state_[idx] = to;
-  // End of lifetime for the maintained share graph: assignment, rejection,
-  // cancellation and expiry all retire the request in O(degree). A no-op
-  // for requests that never reached a dispatch round (or on the second
-  // close of an assigned rider when the dropoff completes).
-  if (sharegraph_ != nullptr) sharegraph_->RemoveRequest(requests_[idx].id);
+  // End of lifetime for the maintained share graphs: assignment, rejection,
+  // cancellation and expiry retire the request from *every* shard's builder
+  // in O(degree) — a request escrowed between rounds can transiently live
+  // in two builders until the old shard's next sync, so no single owner can
+  // be assumed. A no-op for requests that never reached a dispatch round
+  // (or on the second close of an assigned rider when the dropoff
+  // completes).
+  for (const std::unique_ptr<ShardRuntime>& sh : shards_) {
+    if (sh->sharegraph != nullptr) {
+      sh->sharegraph->RemoveRequest(requests_[idx].id);
+    }
+  }
+}
+
+void SimulationEngine::EventRun::RetimeImpl(int zone, double begin,
+                                            double end, double factor) {
+  SR_CHECK(installing_);  // the stream is scheduled right after install
+  SR_CHECK(end > begin);
+  SR_CHECK(factor > 0);
+  for (Request& r : requests_) {
+    if (r.release_time < begin || r.release_time >= end) continue;
+    if (zone >= 0 && partition_.ShardOfNode(r.source) != zone) continue;
+    double retimed = begin + (r.release_time - begin) / factor;
+    double delta = retimed - r.release_time;
+    r.release_time = retimed;
+    r.deadline += delta;        // slack-preserving shift
+    r.latest_pickup += delta;
+  }
+}
+
+int SimulationEngine::EventRun::PullImpl(int zone, int count) {
+  SR_CHECK(current_scenario_ >= 0);  // only from OnInstall / OnEvent
+  int pulled = 0;
+  // Idle vehicles first, then busy ones, ascending index: deterministic
+  // and least disruptive to committed riders.
+  for (int want_idle = 1; want_idle >= 0; --want_idle) {
+    for (size_t vi = 0; vi < fleet_.size() && pulled < count; ++vi) {
+      Vehicle& v = fleet_[vi];
+      if (!v.in_service() || static_cast<int>(v.idle()) != want_idle) {
+        continue;
+      }
+      if (zone >= 0 && partition_.ShardOfNode(v.node()) != zone) continue;
+      v.CancelReposition();  // off-duty vehicles stop chasing demand
+      v.set_in_service(false);
+      pulled_stack_.push_back({vi, current_scenario_});
+      ++pulled;
+    }
+  }
+  return pulled;
 }
 
 void SimulationEngine::EventRun::ApplyRepositions(
@@ -623,6 +831,8 @@ RunMetrics SimulationEngine::EventRun::Finalize() {
   metrics.total_requests = static_cast<int>(n);
   metrics.served = served_;
   metrics.cancelled = cancelled_;
+  metrics.expired = expired_;
+  metrics.rejected = rejected_;
   metrics.service_rate =
       n == 0 ? 0 : static_cast<double>(served_) / static_cast<double>(n);
   for (const Vehicle& v : fleet_) {
@@ -644,9 +854,33 @@ RunMetrics SimulationEngine::EventRun::Finalize() {
   metrics.unified_cost = metrics.travel_cost + penalty;
   metrics.running_time = dispatch_seconds_;
   metrics.sp_queries = engine_->num_queries() - queries_before_;
-  metrics.sharegraph_pair_checks = dispatcher_->SharePairChecks();
-  metrics.memory_bytes = dispatcher_->MemoryBytes();
+  // Pair checks and instrumented memory sum over the shard dispatchers
+  // (one term with a single shard — the pre-sharding numbers, bitwise).
+  uint64_t pair_checks = 0;
+  size_t memory_bytes = 0;
+  std::vector<uint64_t> loads;
+  loads.reserve(shards_.size());
+  for (const std::unique_ptr<ShardRuntime>& sh : shards_) {
+    pair_checks += sh->dispatcher->SharePairChecks();
+    memory_bytes += sh->dispatcher->MemoryBytes();
+    loads.push_back(sh->assigned_total);
+  }
+  metrics.sharegraph_pair_checks = pair_checks;
+  metrics.memory_bytes = memory_bytes;
+  metrics.num_shards = num_shards_;
+  metrics.cross_shard_trips = cross_shard_trips_;
+  metrics.shard_load_max_over_mean = ShardLoadMaxOverMean(loads);
   metrics.late_dropoffs = late_dropoffs_;
+  if (num_shards_ > 1) {
+    // Final census: every request reached exactly one terminal outcome.
+    // Committed riders all completed (termination drains the fleet), so
+    // served + late covers the assigned.
+    SR_CHECK(static_cast<size_t>(served_) + static_cast<size_t>(cancelled_) +
+                 static_cast<size_t>(expired_) +
+                 static_cast<size_t>(rejected_) +
+                 static_cast<size_t>(late_dropoffs_) ==
+             n);
+  }
   if (!steady_alloc_samples_.empty()) {
     std::vector<uint64_t> sorted = steady_alloc_samples_;
     std::sort(sorted.begin(), sorted.end());
@@ -701,6 +935,9 @@ RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
 
   int served = 0;
   int cancelled = 0;
+  int expired = 0;
+  int rejected = 0;
+  bool any_assigned = false;
   int late_dropoffs = 0;
   std::vector<char> served_mask(n, 0);
   std::vector<double> pickup_time(n, 0);
@@ -747,6 +984,7 @@ RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
         switch (ClassifyRider(now, r->latest_pickup,
                               cancel_time[pending_idx[k]])) {
           case RiderOutcome::kExpired:  // unserved
+            ++expired;
             continue;
           case RiderOutcome::kCancelled:
             ++cancelled;
@@ -773,6 +1011,8 @@ RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
+    if (!ctx.assigned.empty()) any_assigned = true;
+    rejected += static_cast<int>(ctx.rejected.size());
     if (!ctx.assigned.empty() || !ctx.rejected.empty()) {
       std::unordered_set<RequestId> remove(ctx.assigned.begin(),
                                            ctx.assigned.end());
@@ -807,6 +1047,13 @@ RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
   metrics.total_requests = static_cast<int>(n);
   metrics.served = served;
   metrics.cancelled = cancelled;
+  metrics.expired = expired;
+  metrics.rejected = rejected;
+  // Single-region by definition: one shard carrying every assignment (load
+  // ratio 1, or 0 when nothing was assigned at all), no cross-shard trips.
+  metrics.num_shards = 1;
+  metrics.cross_shard_trips = 0;
+  metrics.shard_load_max_over_mean = any_assigned ? 1.0 : 0.0;
   metrics.service_rate =
       n == 0 ? 0 : static_cast<double>(served) / static_cast<double>(n);
   for (const Vehicle& v : fleet) metrics.travel_cost += v.total_travel_cost();

@@ -82,7 +82,20 @@ struct RunMetrics {
   size_t memory_bytes = 0;  ///< dispatcher peak instrumented bytes
   int served = 0;
   int cancelled = 0;
+  int expired = 0;   ///< riders whose pickup deadline passed unassigned
+  int rejected = 0;  ///< riders an online dispatcher gave up on permanently
   int total_requests = 0;
+  // Geo-sharding (DESIGN.md §12). Single-region runs report num_shards=1,
+  // zero cross-shard trips, and a load ratio of 1 (0 when nothing was
+  // assigned at all).
+  int num_shards = 1;
+  /// Assignments where the request's home zone (pickup) differs from the
+  /// shard that committed the vehicle — trips that went through the
+  /// boundary-escrow handoff.
+  int cross_shard_trips = 0;
+  /// max/mean of per-shard assignment counts over the run; 1 is perfectly
+  /// balanced, num_shards is one shard doing all the work.
+  double shard_load_max_over_mean = 0;
   // Per-rider service quality over the served riders (0 when none served):
   double pickup_wait_p50 = 0;     ///< median pickup - release wait
   double pickup_wait_p99 = 0;     ///< nearest-rank p99 pickup wait

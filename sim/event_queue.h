@@ -10,6 +10,12 @@
 //       guarantee: with no scenarios installed none exist.
 //   release / stop completion  fire BEFORE a same-time batch tick
 //       (legacy: `release_time <= now` and `arrival <= now` are inclusive)
+//   vehicle migration          fires AFTER same-time stop completions (the
+//       completion that moved the vehicle across a zone edge has already
+//       fired) and BEFORE a same-time batch tick, so a migrating vehicle is
+//       resident in its new shard for any dispatch round at the same
+//       timestamp (geo-sharding, DESIGN.md §12). Single-region runs push
+//       none, keeping the bitwise guarantee untouched.
 //   cancellation / expiry      fire AFTER a same-time batch tick
 //       (legacy: `cancel_time < now` and `now > latest_pickup` are strict),
 //       with cancellation ahead of expiry so a rider whose cancellation and
@@ -29,17 +35,18 @@ namespace structride {
 enum class EventType : uint8_t {
   kScenario = 0,
   kRequestRelease = 1,
-  kStopCompletion = 2,  ///< vehicle stop or reposition arrival
-  kBatchTick = 3,
-  kRiderCancellation = 4,
-  kRiderExpiry = 5,
+  kStopCompletion = 2,    ///< vehicle stop or reposition arrival
+  kVehicleMigration = 3,  ///< vehicle crossed a zone edge: re-home its shard
+  kBatchTick = 4,
+  kRiderCancellation = 5,
+  kRiderExpiry = 6,
 };
 
 struct Event {
   double time = 0;
   EventType type = EventType::kBatchTick;
   /// Payload: request index (release/cancellation/expiry), fleet index
-  /// (stop completion) or scenario index (scenario events).
+  /// (stop completion / migration) or scenario index (scenario events).
   int64_t a = 0;
   /// Payload: vehicle epoch (stop completion — stale events are dropped
   /// when the vehicle's committed timeline changed) or scenario tag.

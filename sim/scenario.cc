@@ -12,21 +12,24 @@ namespace {
 
 class DemandSurgeScenario : public Scenario {
  public:
-  DemandSurgeScenario(double begin, double end, double factor)
-      : begin_(begin), end_(end), factor_(factor) {
+  DemandSurgeScenario(int zone, double begin, double end, double factor)
+      : zone_(zone), begin_(begin), end_(end), factor_(factor) {
     SR_CHECK(end_ > begin_);
     SR_CHECK(factor_ > 0);
   }
 
-  const char* name() const override { return "demand_surge"; }
+  const char* name() const override {
+    return zone_ < 0 ? "demand_surge" : "zonal_demand_surge";
+  }
 
   void OnInstall(ScenarioHost* host) override {
-    host->RetimeWindow(begin_, end_, factor_);
+    host->RetimeZoneWindow(zone_, begin_, end_, factor_);
   }
 
   void OnEvent(ScenarioHost*, int64_t) override {}
 
  private:
+  int zone_;  ///< < 0: every zone (the global surge)
   double begin_;
   double end_;
   double factor_;
@@ -34,14 +37,17 @@ class DemandSurgeScenario : public Scenario {
 
 class VehicleDowntimeScenario : public Scenario {
  public:
-  VehicleDowntimeScenario(double start, double duration, double fraction)
-      : start_(start), duration_(duration), fraction_(fraction) {
+  VehicleDowntimeScenario(int zone, double start, double duration,
+                          double fraction)
+      : zone_(zone), start_(start), duration_(duration), fraction_(fraction) {
     SR_CHECK(start_ >= 0);
     SR_CHECK(duration_ > 0);
     SR_CHECK(fraction_ > 0 && fraction_ <= 1);
   }
 
-  const char* name() const override { return "vehicle_downtime"; }
+  const char* name() const override {
+    return zone_ < 0 ? "vehicle_downtime" : "zonal_vehicle_downtime";
+  }
 
   void OnInstall(ScenarioHost* host) override {
     pulled_ = 0;  // per-run state: OnInstall is the reset point
@@ -53,10 +59,25 @@ class VehicleDowntimeScenario : public Scenario {
 
   void OnEvent(ScenarioHost* host, int64_t tag) override {
     if (tag == kPullTag) {
+      // The pull quota scales with the affected population: the whole fleet
+      // for the global scenario, the vehicles currently inside the zone for
+      // the zonal one (an empty zone pulls nothing).
+      int basis = 0;
+      if (zone_ < 0) {
+        basis = static_cast<int>(host->fleet().size());
+      } else {
+        const std::vector<Vehicle>& fleet = host->fleet();
+        for (const Vehicle& v : fleet) {
+          if (host->ZoneOfNode(v.node()) == zone_) ++basis;
+        }
+      }
+      if (basis == 0) {
+        pulled_ = 0;
+        return;
+      }
       int want = std::max(
-          1, static_cast<int>(fraction_ *
-                              static_cast<double>(host->fleet().size())));
-      pulled_ = host->PullVehicles(want);
+          1, static_cast<int>(fraction_ * static_cast<double>(basis)));
+      pulled_ = host->PullVehiclesInZone(zone_, want);
     } else if (tag == kRestoreTag) {
       host->RestoreVehicles(pulled_);
       pulled_ = 0;
@@ -66,6 +87,7 @@ class VehicleDowntimeScenario : public Scenario {
  private:
   static constexpr int64_t kPullTag = 0;
   static constexpr int64_t kRestoreTag = 1;
+  int zone_;  ///< < 0: whole fleet (the global downtime)
   double start_;
   double duration_;
   double fraction_;
@@ -161,12 +183,25 @@ class GreedyCentroidRepositioning : public RepositioningPolicy {
 
 std::unique_ptr<Scenario> MakeDemandSurge(double begin, double end,
                                           double factor) {
-  return std::make_unique<DemandSurgeScenario>(begin, end, factor);
+  return std::make_unique<DemandSurgeScenario>(-1, begin, end, factor);
 }
 
 std::unique_ptr<Scenario> MakeVehicleDowntime(double start, double duration,
                                               double fraction) {
-  return std::make_unique<VehicleDowntimeScenario>(start, duration, fraction);
+  return std::make_unique<VehicleDowntimeScenario>(-1, start, duration,
+                                                   fraction);
+}
+
+std::unique_ptr<Scenario> MakeZonalDemandSurge(int zone, double begin,
+                                               double end, double factor) {
+  return std::make_unique<DemandSurgeScenario>(zone, begin, end, factor);
+}
+
+std::unique_ptr<Scenario> MakeZonalVehicleDowntime(int zone, double start,
+                                                   double duration,
+                                                   double fraction) {
+  return std::make_unique<VehicleDowntimeScenario>(zone, start, duration,
+                                                   fraction);
 }
 
 std::unique_ptr<Scenario> MakeDispatchModeSwitch(double on_time,

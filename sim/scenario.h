@@ -57,6 +57,31 @@ class ScenarioHost {
   /// releases coalesce into one round) in addition to the periodic batch
   /// ticks that still retry leftovers and drive termination.
   virtual void SetOnlineDispatch(bool on) = 0;
+
+  // Zone surface (geo-sharding, DESIGN.md §12). A host without a zone
+  // partition reports one zone covering the whole metro, so the defaults
+  // degrade every zonal scenario to its global counterpart.
+
+  virtual int num_zones() const { return 1; }
+  /// Zone of a network node; always 0 on a single-zone host.
+  virtual int ZoneOfNode(NodeId node) const {
+    (void)node;
+    return 0;
+  }
+  /// Install-only: RetimeWindow restricted to requests whose pickup lies in
+  /// \p zone (< 0 = every zone).
+  virtual void RetimeZoneWindow(int zone, double begin, double end,
+                                double factor) {
+    (void)zone;
+    RetimeWindow(begin, end, factor);
+  }
+  /// PullVehicles restricted to vehicles currently inside \p zone (< 0 =
+  /// anywhere); same idle-first ascending-index discipline. Returns how
+  /// many were pulled.
+  virtual int PullVehiclesInZone(int zone, int count) {
+    (void)zone;
+    return PullVehicles(count);
+  }
 };
 
 class Scenario {
@@ -86,6 +111,21 @@ std::unique_ptr<Scenario> MakeVehicleDowntime(double start, double duration,
 /// on for the rest of the run).
 std::unique_ptr<Scenario> MakeDispatchModeSwitch(double on_time,
                                                  double off_time);
+
+/// Zone-targeted demand surge: like MakeDemandSurge, but only requests whose
+/// pickup lies in \p zone retime (zone < 0 = every zone, identical to the
+/// global surge). On a host without a zone partition the surge degrades to
+/// the global one.
+std::unique_ptr<Scenario> MakeZonalDemandSurge(int zone, double begin,
+                                               double end, double factor);
+
+/// Zone-targeted downtime: at \p start pulls max(1, floor(fraction * (fleet
+/// currently in \p zone))) vehicles from that zone (zone < 0 = whole fleet,
+/// identical to MakeVehicleDowntime) and restores them at \p start +
+/// \p duration. An empty zone pulls nothing.
+std::unique_ptr<Scenario> MakeZonalVehicleDowntime(int zone, double start,
+                                                   double duration,
+                                                   double fraction);
 
 // ---------------------------------------------------------------------------
 

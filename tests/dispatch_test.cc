@@ -292,5 +292,70 @@ TEST(DispatchTest, CancellationFaultModelOnlyRemovesPendingRiders) {
   EXPECT_LE(m.cancelled + m.served, m.total_requests);
 }
 
+// The registry's public roster: the paper's six in table order plus the
+// SARD-O alias, and every listed name actually constructs.
+TEST(DispatchTest, ListDispatchersNamesEveryConstructibleDispatcher) {
+  const std::vector<std::string>& names = ListDispatchers();
+  const std::vector<std::string> paper_six = AllDispatcherNames();
+  ASSERT_EQ(names.size(), paper_six.size() + 1);
+  for (size_t i = 0; i < paper_six.size(); ++i) {
+    EXPECT_EQ(names[i], paper_six[i]);
+  }
+  EXPECT_EQ(names.back(), "SARD-O");
+  DispatchConfig config;
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    EXPECT_NE(MakeDispatcher(name, config), nullptr);
+  }
+  // Same vector every call: callers may hold the reference.
+  EXPECT_EQ(&ListDispatchers(), &names);
+}
+
+// Spatial-index edge cases: queries over an empty fleet, an all-out-of-
+// service fleet, and a fleet collapsed into one grid cell must return
+// empty/filtered prefixes — never UB — and keep the prefix-of-full-sort
+// contract.
+TEST(DispatchTest, SpatialIndexHandlesDegenerateFleets) {
+  CityOptions copt;
+  copt.rows = 8;
+  copt.cols = 8;
+  copt.seed = 5;
+  RoadNetwork net = GenerateGridCity(copt);
+
+  // Empty fleet: every query is empty, no division by zero cells.
+  std::vector<Vehicle> empty;
+  dispatch::FleetSpatialIndex idx_empty(empty, net);
+  EXPECT_TRUE(idx_empty.KNearest(0, 0).empty());
+  EXPECT_TRUE(idx_empty.KNearest(0, 5).empty());
+  EXPECT_TRUE(idx_empty.KNearestWithin(0, 5, 1e9).empty());
+  size_t buf[4];
+  EXPECT_EQ(idx_empty.KNearestInto(0, 4, buf), 0u);
+
+  // Every vehicle out of service: indexed but filtered from every answer,
+  // exactly like the full-sort reference.
+  std::vector<Vehicle> parked;
+  for (int i = 0; i < 6; ++i) {
+    parked.emplace_back(i, static_cast<NodeId>(i), 4);
+    parked.back().set_in_service(false);
+  }
+  dispatch::FleetSpatialIndex idx_parked(parked, net);
+  EXPECT_TRUE(idx_parked.KNearest(0, parked.size()).empty());
+  EXPECT_TRUE(dispatch::VehiclesByDistance(parked, net, 0).empty());
+  EXPECT_TRUE(idx_parked.KNearestWithin(0, parked.size(), 1e9).empty());
+
+  // Whole fleet on one node (one grid cell, zero spatial extent): ties
+  // break by ascending index and k past the fleet size clamps.
+  std::vector<Vehicle> stacked;
+  for (int i = 0; i < 5; ++i) stacked.emplace_back(i, 3, 4);
+  stacked[2].set_in_service(false);
+  dispatch::FleetSpatialIndex idx_stacked(stacked, net);
+  std::vector<size_t> want = {0, 1, 3, 4};  // 2 is off duty
+  EXPECT_EQ(idx_stacked.KNearest(3, stacked.size() + 7), want);
+  EXPECT_EQ(idx_stacked.KNearest(3, 2),
+            (std::vector<size_t>{0, 1}));  // filtered prefix
+  EXPECT_EQ(idx_stacked.KNearestWithin(3, stacked.size(), 0.0), want);
+  EXPECT_EQ(dispatch::VehiclesByDistance(stacked, net, 3), want);
+}
+
 }  // namespace
 }  // namespace structride

@@ -81,7 +81,12 @@ struct TinyPreset {
 void ExpectOutcomeEqual(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.served, b.served);
   EXPECT_EQ(a.cancelled, b.cancelled);
+  EXPECT_EQ(a.expired, b.expired);
+  EXPECT_EQ(a.rejected, b.rejected);
   EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.num_shards, b.num_shards);
+  EXPECT_EQ(a.cross_shard_trips, b.cross_shard_trips);
+  EXPECT_EQ(a.shard_load_max_over_mean, b.shard_load_max_over_mean);
   EXPECT_EQ(a.unified_cost, b.unified_cost);  // bitwise, not approximate
   EXPECT_EQ(a.travel_cost, b.travel_cost);
   EXPECT_EQ(a.penalty_cost, b.penalty_cost);
@@ -400,7 +405,9 @@ TEST(EngineTest, OverlappingDowntimesRestoreTheirOwnVehicles) {
 }
 
 // Contract 4: the queue's tie discipline. Same time: scenario < release <
-// stop completion < tick < cancellation < expiry; within one bucket, FIFO.
+// stop completion < vehicle migration < tick < cancellation < expiry;
+// within one bucket, FIFO. (Migration after the stops that moved the
+// vehicle, before the tick that dispatches over settled residency.)
 TEST(EventQueueTest, PopsTimeThenTypeThenFifo) {
   EventQueue q;
   q.Push({5, EventType::kRiderExpiry, 0, 0});
@@ -410,11 +417,12 @@ TEST(EventQueueTest, PopsTimeThenTypeThenFifo) {
   q.Push({5, EventType::kRiderCancellation, 4, 0});
   q.Push({5, EventType::kStopCompletion, 5, 0});
   q.Push({5, EventType::kScenario, 6, 0});
+  q.Push({5, EventType::kVehicleMigration, 8, 0});
   q.Push({1, EventType::kRiderExpiry, 7, 0});
 
   std::vector<int64_t> got;
   while (!q.empty()) got.push_back(q.Pop().a);
-  EXPECT_EQ(got, (std::vector<int64_t>{7, 6, 2, 3, 5, 1, 4, 0}));
+  EXPECT_EQ(got, (std::vector<int64_t>{7, 6, 2, 3, 5, 8, 1, 4, 0}));
 }
 
 // A state change scheduled at exactly a release's timestamp covers that
@@ -450,9 +458,10 @@ TEST(EngineTest2, ModeSwitchCoversSameTimeRelease) {
 TEST(EventQueueTest, RandomStreamsMatchStableSortReference) {
   Rng rng(20260728);
   constexpr EventType kTypes[] = {
-      EventType::kScenario,       EventType::kRequestRelease,
-      EventType::kStopCompletion, EventType::kBatchTick,
-      EventType::kRiderCancellation, EventType::kRiderExpiry,
+      EventType::kScenario,         EventType::kRequestRelease,
+      EventType::kStopCompletion,   EventType::kVehicleMigration,
+      EventType::kBatchTick,        EventType::kRiderCancellation,
+      EventType::kRiderExpiry,
   };
   for (int trial = 0; trial < 50; ++trial) {
     const int n = 1 + static_cast<int>(rng.UniformInt(0, 199));
@@ -463,7 +472,7 @@ TEST(EventQueueTest, RandomStreamsMatchStableSortReference) {
     for (int i = 0; i < n; ++i) {
       Event e;
       e.time = static_cast<double>(rng.UniformInt(0, distinct_times - 1));
-      e.type = kTypes[rng.UniformInt(0, 5)];
+      e.type = kTypes[rng.UniformInt(0, 6)];
       e.a = i;  // push index: the FIFO witness
       q.Push(e);
       pushed.push_back(e);
@@ -501,7 +510,7 @@ TEST(EventQueueTest, InterleavedRandomStreamsStayStable) {
       if (q.empty() || rng.Uniform(0, 1) < 0.6) {
         Event e;
         e.time = static_cast<double>(rng.UniformInt(0, 3));
-        e.type = static_cast<EventType>(rng.UniformInt(0, 5));
+        e.type = static_cast<EventType>(rng.UniformInt(0, 6));
         e.a = step;
         q.Push(e);
         alive.push_back(e);
