@@ -106,6 +106,67 @@ int main() {
                     allocs_ok ? "" : "  << STEADY BATCHES ALLOCATED");
       }
     }
+
+    // ---- Shards dimension (DESIGN.md §12) ----
+    // The second parallel axis: geo-shards × worker threads with the
+    // acceptance stage kept serial (sard_parallel_acceptance=false), so
+    // concurrent shard batches are the *only* thing threads buy. Each shard
+    // count gets its own engine (its own cache partitions, warmed before
+    // measuring); the gate is thread-invariance — the 8-thread cell must be
+    // bitwise identical to the 1-thread cell of the same shard count, which
+    // pins the concurrent batch phase against the serial shard-id-order
+    // reference. Outcomes legitimately differ *across* shard counts (zonal
+    // dispatch is a different policy), so speedup is reported against the
+    // 1-shard 1-thread cell but parity is gated only within a shard count.
+    std::printf("%-8s%-8s%-10s%10s%16s%12s%10s%12s\n", "city", "shards",
+                "threads", "service", "unified cost", "time (s)", "speedup",
+                "allocs p50");
+    double z1t1_time = 0;
+    for (int shards : {1, 2, 4}) {
+      SimulationEngine zsim(&engine, reqs, sopts);
+      zsim.SpawnFleet(spec.num_vehicles, spec.capacity);
+      auto zconfig = [&](int threads) {
+        DispatchConfig c;
+        c.vehicle_capacity = spec.capacity;
+        c.grouping.max_group_size = spec.capacity;
+        c.sard_parallel_acceptance = false;
+        c.num_threads = threads;
+        c.num_shards = shards;
+        c.concurrent_shards = BenchConcurrentShards();
+        return c;
+      };
+      // Warm both the shared root cache and this engine's shard partitions.
+      zsim.Run("SARD", zconfig(1));
+      RunMetrics zbase;
+      for (int threads : {1, 8}) {
+        RunMetrics r = zsim.Run("SARD", zconfig(threads));
+        RecordJsonRow("SARD", ds + " z" + std::to_string(shards) + " t" +
+                                  std::to_string(threads),
+                      r);
+        bool same = true;
+        if (threads == 1) {
+          zbase = r;
+          if (shards == 1) z1t1_time = r.running_time;
+        } else {
+          same = r.served == zbase.served &&
+                 r.unified_cost == zbase.unified_cost &&
+                 r.sp_queries == zbase.sp_queries &&
+                 r.cross_shard_trips == zbase.cross_shard_trips &&
+                 r.shard_sp_queries == zbase.shard_sp_queries;
+          if (!same) ++divergences;
+        }
+        bool allocs_ok =
+            !HeapAllocCountingActive() || r.allocs_per_batch_p50 == 0;
+        if (!allocs_ok) ++alloc_gate_failures;
+        std::printf("%-8sz%-7d%-10d%10.3f%16.0f%12.2f%10.2f%12llu%s%s\n",
+                    ds.c_str(), shards, threads, r.service_rate,
+                    r.unified_cost, r.running_time,
+                    r.running_time > 0 ? z1t1_time / r.running_time : 0.0,
+                    static_cast<unsigned long long>(r.allocs_per_batch_p50),
+                    same ? "" : "  << DIVERGED across thread counts",
+                    allocs_ok ? "" : "  << STEADY BATCHES ALLOCATED");
+      }
+    }
   }
 
   std::printf("\nEvery cell must match its fleet's baseline on served, unified\n"
@@ -116,7 +177,10 @@ int main() {
               "cache; higher thread counts add pooled parallel graph building\n"
               "and proposal pricing, and scale with the cores the host\n"
               "actually has (on a single-core container they only measure\n"
-              "pool overhead).\n");
+              "pool overhead). The shards block sweeps the second parallel\n"
+              "axis: with acceptance serial, 8 threads must be bitwise\n"
+              "identical to 1 thread at every shard count — concurrent shard\n"
+              "batches change wall-clock only.\n");
   if (divergences > 0) {
     std::fprintf(stderr, "FAIL: %d cells diverged from the serial baseline\n",
                  divergences);

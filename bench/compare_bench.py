@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff two STRUCTRIDE_JSON_DIR result directories and gate CI on them.
+
+Usage:
+    compare_bench.py BASELINE_DIR CANDIDATE_DIR [options]
+
+Both directories are scanned for BENCH_*.json files (the format written by
+bench/harness.cc's WriteJsonAtExit). Rows are matched across the two
+directories by (bench, series, point) and checked two ways:
+
+  * Parity metrics (served / cancelled / expired / rejected /
+    total_requests / sp_queries / unified_cost / service_rate /
+    late_dropoffs, plus the per-shard sp_queries vector) must be *exactly*
+    equal: these are deterministic outcomes, and any drift means the two
+    builds computed different dispatches. This is how CI pins
+    concurrent_shards=on against the STRUCTRIDE_CONC_SHARDS=0 serial
+    reference across two bench invocations.
+  * running_time_s may regress by at most --max-regress-pct percent
+    (default 10) on rows slower than --min-time seconds (default 0.05 —
+    timing noise dominates below that).
+
+Optionally --min-speedup R requires candidate rows matching
+--speedup-filter to be at least R times faster than the same baseline row
+(the CI serial-vs-concurrent shard cell: baseline dir ran with
+STRUCTRIDE_CONC_SHARDS=0). The filter failing to match any row is itself a
+failure, so a renamed bench point cannot silently skip the gate.
+
+Exit status: 0 when every gate passes, 1 otherwise (and a summary of every
+violation on stderr). Baseline rows missing from the candidate fail; rows
+only in the candidate are reported but do not fail (new benches land first).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+PARITY_FIELDS = [
+    "served",
+    "cancelled",
+    "expired",
+    "rejected",
+    "total_requests",
+    "late_dropoffs",
+    "sp_queries",
+    "unified_cost",
+    "service_rate",
+    "num_shards",
+    "cross_shard_trips",
+    "shard_sp_queries",
+]
+
+
+def load_rows(directory):
+    """Returns {(bench, series, point): row} over all BENCH_*.json files."""
+    rows = {}
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        sys.stderr.write("compare_bench: no BENCH_*.json in %s\n" % directory)
+        sys.exit(2)
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            sys.stderr.write("compare_bench: cannot read %s: %s\n" % (path, e))
+            sys.exit(2)
+        bench = doc.get("bench", os.path.basename(path))
+        for row in doc.get("rows", []):
+            key = (bench, row.get("series", ""), row.get("point", ""))
+            if key in rows:
+                sys.stderr.write(
+                    "compare_bench: duplicate row %r in %s\n" % (key, path))
+                sys.exit(2)
+            rows[key] = row
+    return rows
+
+
+def fmt(key):
+    return "%s / %s / %s" % key
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-regress-pct", type=float, default=10.0,
+                    help="max running_time_s regression in percent "
+                         "(default 10)")
+    ap.add_argument("--min-time", type=float, default=0.05,
+                    help="ignore timing on rows faster than this many "
+                         "seconds in the baseline (default 0.05)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="require candidate to be at least R x faster than "
+                         "baseline on rows matching --speedup-filter")
+    ap.add_argument("--speedup-filter", default="",
+                    help="substring of 'series / point' selecting the rows "
+                         "the --min-speedup gate applies to (default: all)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    failures = []
+    regressions = 0
+    compared = 0
+    speedup_rows = 0
+
+    for key, brow in sorted(base.items()):
+        crow = cand.get(key)
+        if crow is None:
+            failures.append("missing in candidate: %s" % fmt(key))
+            continue
+        compared += 1
+        for field in PARITY_FIELDS:
+            if field not in brow and field not in crow:
+                continue  # older json without the field: nothing to compare
+            bval, cval = brow.get(field), crow.get(field)
+            if bval != cval:
+                failures.append(
+                    "parity drift on %s: %s %r -> %r"
+                    % (fmt(key), field, bval, cval))
+        bt = brow.get("running_time_s", 0.0)
+        ct = crow.get("running_time_s", 0.0)
+        if bt >= args.min_time and ct > bt * (1 + args.max_regress_pct / 100):
+            regressions += 1
+            failures.append(
+                "time regression on %s: %.3fs -> %.3fs (+%.1f%% > %.1f%%)"
+                % (fmt(key), bt, ct, 100 * (ct / bt - 1),
+                   args.max_regress_pct))
+        if args.min_speedup is not None and \
+                args.speedup_filter in "%s / %s" % (key[1], key[2]):
+            speedup_rows += 1
+            speedup = bt / ct if ct > 0 else float("inf")
+            marker = "ok" if speedup >= args.min_speedup else "FAIL"
+            print("speedup %s: %.3fs / %.3fs = %.2fx (need %.2fx) [%s]"
+                  % (fmt(key), bt, ct, speedup, args.min_speedup, marker))
+            if speedup < args.min_speedup:
+                failures.append(
+                    "speedup %.2fx < %.2fx on %s"
+                    % (speedup, args.min_speedup, fmt(key)))
+
+    for key in sorted(set(cand) - set(base)):
+        print("note: new row (not in baseline): %s" % fmt(key))
+
+    if args.min_speedup is not None and speedup_rows == 0:
+        failures.append(
+            "--min-speedup set but --speedup-filter %r matched no rows"
+            % args.speedup_filter)
+
+    print("compare_bench: %d rows compared, %d timing regressions, "
+          "%d gate failures" % (compared, regressions, len(failures)))
+    if failures:
+        for msg in failures:
+            sys.stderr.write("FAIL: %s\n" % msg)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

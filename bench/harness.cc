@@ -79,6 +79,20 @@ void WriteJsonAtExit() {
   for (size_t i = 0; i < state.rows.size(); ++i) {
     const JsonRow& r = state.rows[i];
     const RunMetrics& m = r.metrics;
+    // Per-shard observability arrays (one entry per shard, shard-id order).
+    std::string shard_queries, shard_hit_rates;
+    for (size_t s = 0; s < m.shard_sp_queries.size(); ++s) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%llu", s > 0 ? ", " : "",
+                    static_cast<unsigned long long>(m.shard_sp_queries[s]));
+      shard_queries += buf;
+    }
+    for (size_t s = 0; s < m.shard_cache_hit_rate.size(); ++s) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%.6f", s > 0 ? ", " : "",
+                    m.shard_cache_hit_rate[s]);
+      shard_hit_rates += buf;
+    }
     std::fprintf(
         f,
         "    {\"series\": \"%s\", \"point\": \"%s\", \"dataset\": \"%s\", "
@@ -93,6 +107,8 @@ void WriteJsonAtExit() {
         "\"repositions\": %d, \"reposition_cost\": %.6f, "
         "\"num_shards\": %d, \"cross_shard_trips\": %d, "
         "\"shard_load_max_over_mean\": %.6f, "
+        "\"shard_sp_queries\": [%s], \"shard_cache_hit_rate\": [%s], "
+        "\"shard_round_time_max_over_mean\": %.6f, "
         "\"allocs_per_batch_p50\": %llu, \"allocs_per_batch_max\": %llu, "
         "\"arena_peak_bytes\": %zu}%s\n",
         JsonEscape(r.series).c_str(), JsonEscape(r.point).c_str(),
@@ -105,6 +121,8 @@ void WriteJsonAtExit() {
         m.pickup_wait_p50, m.pickup_wait_p99, m.mean_detour_ratio,
         m.late_dropoffs, m.repositions, m.reposition_cost,
         m.num_shards, m.cross_shard_trips, m.shard_load_max_over_mean,
+        shard_queries.c_str(), shard_hit_rates.c_str(),
+        m.shard_round_time_max_over_mean,
         static_cast<unsigned long long>(m.allocs_per_batch_p50),
         static_cast<unsigned long long>(m.allocs_per_batch_max),
         m.arena_peak_bytes, i + 1 < state.rows.size() ? "," : "");
@@ -218,6 +236,18 @@ int BenchShards() {
   return static_cast<int>(z);
 }
 
+bool BenchConcurrentShards() {
+  const char* env = std::getenv("STRUCTRIDE_CONC_SHARDS");
+  if (env == nullptr) return true;
+  if (std::strcmp(env, "0") == 0) return false;
+  if (std::strcmp(env, "1") == 0) return true;
+  std::fprintf(stderr,
+               "[bench] ignoring STRUCTRIDE_CONC_SHARDS=\"%s\" (want 0 or "
+               "1); using the default 1\n",
+               env);
+  return true;
+}
+
 std::vector<std::string> BenchAlgorithms() {
   const char* env = std::getenv("STRUCTRIDE_ALGOS");
   if (env == nullptr) return AllDispatcherNames();
@@ -281,6 +311,7 @@ RunMetrics BenchContext::Run(const std::string& algorithm,
   config.ilp_node_cap = 200'000;
   config.num_threads = 4;
   config.num_shards = BenchShards();
+  config.concurrent_shards = BenchConcurrentShards();
 
   return sim.Run(algorithm, config);
 }

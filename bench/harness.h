@@ -67,6 +67,13 @@ double BenchScale();
 /// so any figure/table bench replays geo-sharded without a rebuild.
 int BenchShards();
 
+/// \brief Env-var concurrent-shard switch (STRUCTRIDE_CONC_SHARDS, default
+/// 1): every BenchContext::Run dispatches with
+/// DispatchConfig::concurrent_shards set to this, so serial-vs-concurrent
+/// shard execution can be compared across two bench invocations (the CI
+/// compare_bench.py cell) without a rebuild. 0 = serial reference.
+bool BenchConcurrentShards();
+
 /// \brief Escapes \p s for embedding inside a JSON string literal: quotes,
 /// backslashes, the named control escapes (\b \f \n \r \t) and \u00XX for
 /// every other byte below 0x20. Dataset/bench/series names flow into

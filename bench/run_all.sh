@@ -11,6 +11,13 @@
 #                         holds at 1 shard — see DESIGN.md §12)
 #   STRUCTRIDE_JSON_DIR   where BENCH_<name>.json results land
 #                         (default <build-dir>/bench_json)
+#   STRUCTRIDE_CONC_SHARDS  0 forces the serial shard loop in every bench
+#                         (the differential reference for the compare gate)
+#   STRUCTRIDE_COMPARE_DIR  baseline BENCH json dir: after the sweep,
+#                         bench/compare_bench.py diffs it against
+#                         STRUCTRIDE_JSON_DIR and fails the run on parity
+#                         drift or timing regression; extra flags via
+#                         STRUCTRIDE_COMPARE_ARGS (e.g. --min-speedup)
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -107,6 +114,23 @@ if [ "$BENCH_SET" != "sweep" ]; then
     fi
     ran=$((ran + 1))
   done
+fi
+
+# Optional baseline diff: parity metrics must be bitwise identical and
+# running times within tolerance (see bench/compare_bench.py --help).
+if [ -n "${STRUCTRIDE_COMPARE_DIR:-}" ]; then
+  echo "=== compare_bench ($STRUCTRIDE_COMPARE_DIR vs $STRUCTRIDE_JSON_DIR) ==="
+  # shellcheck disable=SC2086 — COMPARE_ARGS is intentionally word-split.
+  if python3 "$(dirname "$0")/compare_bench.py" \
+       "$STRUCTRIDE_COMPARE_DIR" "$STRUCTRIDE_JSON_DIR" \
+       ${STRUCTRIDE_COMPARE_ARGS:-}; then
+    note "compare_bench" ok 0
+  else
+    rc=$?
+    echo "FAILED: compare_bench (exit $rc)" >&2
+    failures=$((failures + 1))
+    note "compare_bench" FAIL "$rc"
+  fi
 fi
 
 echo

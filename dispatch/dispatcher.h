@@ -71,6 +71,25 @@ struct DispatchConfig {
   int num_shards = 1;
   /// Partition grid columns override; 0 picks ceil(sqrt(num_shards)).
   int shard_grid_cols = 0;
+  /// Run the N-shard round's per-shard batches concurrently on the shared
+  /// worker pool (DESIGN.md §12). Every shard writes only shard-local state
+  /// plus its private output buffers during the batch; the engine commits
+  /// the buffers serially in shard-id order afterwards, so results are
+  /// bitwise identical to `false`, which runs the same buffer-then-commit
+  /// protocol with the batch phase serialized in shard-id order (the
+  /// differential reference). No effect at num_shards == 1 or num_threads
+  /// == 1.
+  bool concurrent_shards = true;
+  /// Per-shard travel-cost cache partition sizing under geo-sharding: total
+  /// cached pairs per partition (0 = the root engine's capacity divided by
+  /// num_shards). Each shard queries only its own partition, so concurrent
+  /// shards never contend on a cache lock and per-shard sp_queries stay
+  /// exact.
+  size_t shard_cache_capacity = 0;
+  /// Lock stripes per partition (0 = 16; intra-shard parallelism is bounded
+  /// by SARD's acceptance stage, so partitions need fewer stripes than the
+  /// 64-way root cache).
+  size_t shard_cache_stripes = 0;
 };
 
 /// An empty relocation for an idle vehicle (the repositioning hook,

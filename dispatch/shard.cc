@@ -54,6 +54,18 @@ int ShardPartition::ShardOfNode(NodeId node) const {
   return std::min(cy * cols_ + cx, num_shards_ - 1);
 }
 
+uint64_t MemberPlaneFingerprint(const std::vector<size_t>& members) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t m : members) {
+    h ^= static_cast<uint64_t>(m);
+    h *= 0x100000001b3ull;
+  }
+  // Fold the length in so a plane that shrinks to a prefix still changes.
+  h ^= static_cast<uint64_t>(members.size());
+  h *= 0x100000001b3ull;
+  return h;
+}
+
 double ShardLoadMaxOverMean(const std::vector<uint64_t>& loads) {
   if (loads.empty()) return 0;
   uint64_t total = 0, max_load = 0;

@@ -47,15 +47,23 @@ class ShardPartition {
 /// Everything one zone owns: its dispatcher instance, incrementally
 /// maintained share graph, SoA planes and batch arena, the resident vehicle
 /// set (ascending fleet indices — the restricted FleetView's member plane),
-/// and its dispatch context. The simulation engine drives all shards from
-/// the shared EventQueue and ThreadPool, in shard-id order, so N-shard runs
-/// stay deterministic.
+/// its private travel-cost cache partition, and its dispatch context. The
+/// simulation engine drives all shards from the shared EventQueue and
+/// ThreadPool under a buffer-then-commit round protocol (DESIGN.md §12):
+/// the batch phase touches only this struct plus read-only global planes
+/// (so shards may run concurrently), and the engine merges the ctx output
+/// buffers serially in shard-id order, so N-shard runs stay deterministic.
 struct ShardRuntime {
   int id = 0;
   /// Resident fleet-storage indices, strictly ascending.
   std::vector<size_t> members;
   std::unique_ptr<Dispatcher> dispatcher;
   std::unique_ptr<ShareGraphBuilder> sharegraph;
+  /// This shard's travel-cost cache partition
+  /// (TravelCostEngine::MakeCachePartition), owned by the simulation engine
+  /// so it stays warm across runs; null at 1 shard (the root engine serves
+  /// directly, preserving the bitwise 1-shard gate).
+  TravelCostEngine* cache = nullptr;
   DispatchContext ctx;
   EpochArena arena;
   FleetSoA fleet_soa;
@@ -63,10 +71,31 @@ struct ShardRuntime {
   /// Requests this shard has assigned over the whole run (the load-balance
   /// numerator of RunMetrics::shard_load_max_over_mean).
   uint64_t assigned_total = 0;
+  /// Wall seconds this shard's OnBatch calls have taken over the run (the
+  /// imbalance numerator of RunMetrics::shard_round_time_max_over_mean) and
+  /// in the last round alone.
+  double batch_seconds_total = 0;
+  double last_batch_seconds = 0;
+  /// Heap allocations observed strictly around the last OnBatch. Only
+  /// meaningful when the batch phase ran serially (concurrent shards share
+  /// the process-wide counter); the engine then sums per-shard deltas to
+  /// reproduce the pre-sharding steady-state alloc gate exactly.
+  uint64_t last_batch_allocs = 0;
+  /// Per-run baselines for the partition's counters, captured at run start
+  /// so RunMetrics::shard_sp_queries / shard_cache_hit_rate report this run
+  /// only even though partitions stay warm across runs.
+  uint64_t queries_at_run_start = 0;
+  uint64_t lookups_at_run_start = 0;
 };
 
 /// max(loads) / mean(loads); 0 when every load is zero (no assignments).
 double ShardLoadMaxOverMean(const std::vector<uint64_t>& loads);
+
+/// Order-sensitive FNV-1a fingerprint of a shard's member plane. The engine
+/// snapshots every shard's fingerprint before the (possibly concurrent)
+/// batch phase and SR_CHECKs them unchanged after: no shard may touch any
+/// member plane — its own included — until the serial commit phase.
+uint64_t MemberPlaneFingerprint(const std::vector<size_t>& members);
 
 /// Fleet-storage index of the in-service vehicle nearest \p from by the
 /// straight-line lower bound (ties: lower index), or SIZE_MAX when none is

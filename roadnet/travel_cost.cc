@@ -7,6 +7,7 @@
 #include "roadnet/dijkstra.h"
 #include "roadnet/hub_labeling.h"
 #include "util/bits.h"
+#include "util/logging.h"
 
 namespace structride {
 
@@ -50,23 +51,61 @@ TravelCostEngine::TravelCostEngine(const RoadNetwork& net,
     case TravelCostOptions::Backend::kBidirectionalDijkstra:
       break;
   }
-  size_t num_shards = RoundUpPow2(std::max<size_t>(1, options_.cache_shards));
+  BuildCache(options_.cache_capacity, options_.cache_shards);
+}
+
+TravelCostEngine::TravelCostEngine(TravelCostEngine* parent, size_t capacity,
+                                   size_t stripes)
+    : net_(parent->net_), options_(parent->options_), parent_(parent) {
+  options_.cache_capacity = capacity;
+  options_.cache_shards = stripes;
+  BuildCache(capacity, stripes);
+}
+
+void TravelCostEngine::BuildCache(size_t capacity, size_t stripes) {
+  size_t num_shards = RoundUpPow2(std::max<size_t>(1, stripes));
   shard_mask_ = num_shards - 1;
-  size_t per_shard =
-      std::max<size_t>(1, options_.cache_capacity / num_shards);
+  size_t per_shard = std::max<size_t>(1, capacity / num_shards);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(per_shard));
   }
 }
 
-TravelCostEngine::~TravelCostEngine() = default;
+std::unique_ptr<TravelCostEngine> TravelCostEngine::MakeCachePartition(
+    size_t capacity, size_t stripes) {
+  SR_CHECK(parent_ == nullptr);  // partitions of partitions are not a thing
+  auto child = std::unique_ptr<TravelCostEngine>(
+      new TravelCostEngine(this, capacity, stripes));
+  std::lock_guard<std::mutex> lock(children_mutex_);
+  children_.push_back(child.get());
+  return child;
+}
+
+void TravelCostEngine::RetireChild(const TravelCostEngine* child) {
+  std::lock_guard<std::mutex> lock(children_mutex_);
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i] == child) {
+      children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  retired_queries_.fetch_add(child->OwnQueries(), std::memory_order_relaxed);
+  retired_lookups_.fetch_add(child->OwnLookups(), std::memory_order_relaxed);
+}
+
+TravelCostEngine::~TravelCostEngine() {
+  if (parent_ != nullptr) parent_->RetireChild(this);
+}
 
 TravelCostEngine::Shard& TravelCostEngine::ShardFor(uint64_t key) const {
   return *shards_[ShardHash(key) & shard_mask_];
 }
 
 double TravelCostEngine::BackendCost(NodeId s, NodeId t) const {
+  // Partitions own no backend: the computation (immutable after construction,
+  // hence lock-free to share) is the parent's; only the cache is private.
+  if (parent_ != nullptr) return parent_->BackendCost(s, t);
   switch (options_.backend) {
     case TravelCostOptions::Backend::kHubLabeling:
       return hub_labels_->Query(s, t);
@@ -99,6 +138,7 @@ double TravelCostEngine::Cost(NodeId s, NodeId t) const {
 
 void TravelCostEngine::CostMany(NodeId source, Span<const NodeId> targets,
                                 double* out) const {
+  const HubLabeling* hl = Hl();
   bool pinned = false;
   double* scratch = nullptr;
   for (size_t i = 0; i < targets.size(); ++i) {
@@ -117,20 +157,20 @@ void TravelCostEngine::CostMany(NodeId source, Span<const NodeId> targets,
       continue;
     }
     double cost;
-    if (hub_labels_) {
+    if (hl != nullptr) {
       if (!pinned) {
         // First miss: pin the source's label once. Lazy so an all-hits batch
         // never touches the scratch. Pinning under the shard lock is safe —
         // it only reads the immutable label buffer and writes this thread's
         // scratch.
-        if (tls_hl_scratch.size() < hub_labels_->num_ranks()) {
-          tls_hl_scratch.resize(hub_labels_->num_ranks(), kInf);
+        if (tls_hl_scratch.size() < hl->num_ranks()) {
+          tls_hl_scratch.resize(hl->num_ranks(), kInf);
         }
         scratch = tls_hl_scratch.data();
-        hub_labels_->PinSource(source, scratch);
+        hl->PinSource(source, scratch);
         pinned = true;
       }
-      cost = hub_labels_->QueryPinned(scratch, t);
+      cost = hl->QueryPinned(scratch, t);
     } else {
       cost = BackendCost(source, t);
     }
@@ -138,10 +178,10 @@ void TravelCostEngine::CostMany(NodeId source, Span<const NodeId> targets,
     ++shard.queries;
     out[i] = cost;
   }
-  if (pinned) hub_labels_->UnpinSource(source, scratch);
+  if (pinned) hl->UnpinSource(source, scratch);
 }
 
-uint64_t TravelCostEngine::num_queries() const {
+uint64_t TravelCostEngine::OwnQueries() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
@@ -150,11 +190,35 @@ uint64_t TravelCostEngine::num_queries() const {
   return total;
 }
 
-uint64_t TravelCostEngine::num_lookups() const {
+uint64_t TravelCostEngine::OwnLookups() const {
   uint64_t total = self_lookups_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->lookups;
+  }
+  return total;
+}
+
+uint64_t TravelCostEngine::num_queries() const {
+  uint64_t total = OwnQueries();
+  if (parent_ == nullptr) {
+    total += retired_queries_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(children_mutex_);
+    for (const TravelCostEngine* child : children_) {
+      total += child->OwnQueries();
+    }
+  }
+  return total;
+}
+
+uint64_t TravelCostEngine::num_lookups() const {
+  uint64_t total = OwnLookups();
+  if (parent_ == nullptr) {
+    total += retired_lookups_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(children_mutex_);
+    for (const TravelCostEngine* child : children_) {
+      total += child->OwnLookups();
+    }
   }
   return total;
 }
@@ -171,6 +235,12 @@ size_t TravelCostEngine::MemoryBytes() const {
   if (ch_) bytes += ch_->MemoryBytes();
   for (const auto& shard : shards_) {
     bytes += shard->lru.MemoryBytes() + sizeof(Shard);
+  }
+  if (parent_ == nullptr) {
+    std::lock_guard<std::mutex> lock(children_mutex_);
+    for (const TravelCostEngine* child : children_) {
+      bytes += child->MemoryBytes();
+    }
   }
   return bytes;
 }

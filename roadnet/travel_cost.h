@@ -77,6 +77,20 @@ class TravelCostEngine {
   }
 
   const RoadNetwork& network() const { return net_; }
+  const TravelCostOptions& options() const { return options_; }
+
+  /// Creates a cache partition: a child engine sharing this engine's frozen
+  /// network and shortest-path backend, but owning a private FlatLru shard
+  /// set and counters. Concurrent users (one geo-shard each) therefore never
+  /// contend on a cache lock, and per-partition num_queries()/num_lookups()
+  /// stay exact per user. The parent's num_queries()/num_lookups() aggregate
+  /// over itself plus all partitions, live or destroyed (a dying partition
+  /// folds its counts into the parent), so whole-process accounting is
+  /// unaffected by partition lifetimes. Partitions must not outlive the
+  /// parent and cannot themselves be partitioned.
+  std::unique_ptr<TravelCostEngine> MakeCachePartition(size_t capacity,
+                                                       size_t stripes);
+  bool is_partition() const { return parent_ != nullptr; }
 
   /// Backend shortest-path computations (i.e. entries inserted on misses).
   uint64_t num_queries() const;
@@ -95,8 +109,19 @@ class TravelCostEngine {
     uint64_t lookups = 0;  ///< Cost/CostMany targets routed here; ditto
   };
 
+  /// Partition constructor: shares parent's network + backend, owns a cache.
+  TravelCostEngine(TravelCostEngine* parent, size_t capacity, size_t stripes);
+
+  void BuildCache(size_t capacity, size_t stripes);
   double BackendCost(NodeId s, NodeId t) const;
   Shard& ShardFor(uint64_t key) const;
+  const HubLabeling* Hl() const {
+    return parent_ ? parent_->hub_labels_.get() : hub_labels_.get();
+  }
+  /// This engine's own cache counters, partitions excluded.
+  uint64_t OwnQueries() const;
+  uint64_t OwnLookups() const;
+  void RetireChild(const TravelCostEngine* child);
 
   const RoadNetwork& net_;
   TravelCostOptions options_;
@@ -109,6 +134,14 @@ class TravelCostEngine {
   /// counter; everything else is counted under the shard lock it already
   /// takes (one atomic RMW fewer on the hot path).
   mutable std::atomic<uint64_t> self_lookups_{0};
+
+  /// Partition bookkeeping. parent_ is set on children; children_ and the
+  /// retired_* accumulators live on the parent.
+  TravelCostEngine* parent_ = nullptr;
+  mutable std::mutex children_mutex_;
+  std::vector<const TravelCostEngine*> children_;
+  std::atomic<uint64_t> retired_queries_{0};
+  std::atomic<uint64_t> retired_lookups_{0};
 };
 
 }  // namespace structride

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "dispatch/shard.h"
+#include "roadnet/travel_cost.h"
 #include "sim/event_queue.h"
 #include "util/alloc_gate.h"
 #include "util/logging.h"
@@ -57,6 +58,19 @@ void FinalizeServiceQuality(const std::vector<Request>& requests,
   m->pickup_wait_p99 = NearestRank(waits, 0.99);
   m->mean_detour_ratio =
       detour_count > 0 ? detour_sum / static_cast<double>(detour_count) : 0;
+}
+
+// max/mean over a non-negative sample; 0 when the sum is zero. The double
+// sibling of ShardLoadMaxOverMean, for the per-shard batch-time imbalance.
+double MaxOverMean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double total = 0, max_value = 0;
+  for (double v : values) {
+    total += v;
+    max_value = std::max(max_value, v);
+  }
+  if (total <= 0) return 0;
+  return max_value * static_cast<double>(values.size()) / total;
 }
 
 }  // namespace
@@ -233,6 +247,19 @@ class SimulationEngine::EventRun : public ScenarioHost {
   void HandleRelease(size_t idx);
   void HandleStopEvent(size_t vi, int64_t epoch);
   void DispatchRound(bool online);
+  /// The travel-cost oracle a shard dispatches against: its private cache
+  /// partition under geo-sharding, the root engine at 1 shard (preserving
+  /// the bitwise 1-shard gate).
+  TravelCostEngine* ShardEngine(ShardRuntime& sh) const {
+    return sh.cache != nullptr ? sh.cache : engine_;
+  }
+  /// Phase A of the round protocol: build the shard's context in place and
+  /// run its OnBatch. Touches only shard-local state plus read-only global
+  /// planes, so shards may run this concurrently.
+  void RunShardBatch(ShardRuntime& sh, bool online);
+  /// Phase B: merge one shard's output buffers (assignments, rejections,
+  /// repositions) into global state. Always serial, in shard-id order.
+  void CommitShardOutputs(ShardRuntime& sh);
   void SweepPending();
   void CloseRequest(size_t idx, ReqState to);
   void ApplyRepositions(const std::vector<RepositionMove>& moves);
@@ -301,6 +328,14 @@ class SimulationEngine::EventRun : public ScenarioHost {
   /// Reposition moves arrive view-local from each shard's context; this
   /// persistent scratch holds the storage-index translation per round.
   std::vector<RepositionMove> round_moves_;
+  /// The concurrent batch phase's pool task, built once per run (capturing
+  /// only `this`, so the std::function stays within its small-buffer
+  /// storage — no per-round allocation).
+  std::function<void(size_t)> shard_task_;
+  bool round_online_ = false;
+  /// Member-plane fingerprints snapshotted before the batch phase and
+  /// SR_CHECKed unchanged after it (see MemberPlaneFingerprint).
+  std::vector<uint64_t> member_fingerprints_;
 
   double now_ = 0;
   double tick_time_ = 0;
@@ -319,6 +354,7 @@ class SimulationEngine::EventRun : public ScenarioHost {
   int cross_shard_trips_ = 0;
   double dispatch_seconds_ = 0;
   uint64_t queries_before_ = 0;
+  uint64_t lookups_before_ = 0;
 };
 
 RunMetrics SimulationEngine::EventRun::Execute() {
@@ -335,30 +371,45 @@ RunMetrics SimulationEngine::EventRun::Execute() {
   scheduled_epoch_.assign(fleet_.size(), kNoEpoch);
 
   // One worker pool per run, shared by every shard's rounds — thread
-  // startup never recurs per batch. Only built when some dispatcher stage
-  // actually consumes it (today: SARD's parallel acceptance).
-  if (config_.num_threads > 1 && config_.sard_parallel_acceptance) {
+  // startup never recurs per batch. Built when some dispatcher stage
+  // consumes it (SARD's parallel acceptance) or the multi-shard round can
+  // run its batch phase concurrently. The pool's presence never changes
+  // outcomes (disjoint index-addressed writes + serial merges), so serial
+  // and concurrent shard modes see identical inputs either way.
+  num_shards_ = std::max(1, config_.num_shards);
+  if (config_.num_threads > 1 &&
+      (config_.sard_parallel_acceptance || num_shards_ > 1)) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
   // The zone partition and one runtime per zone. Each shard gets its own
-  // dispatcher instance and (when incremental maintenance is on) its own
-  // share graph: free (empty containers) for dispatchers that never sync
-  // into it, incremental for those that do, outliving every batch.
-  num_shards_ = std::max(1, config_.num_shards);
+  // dispatcher instance, its own travel-cost cache partition (so concurrent
+  // shards never contend on a cache lock), and (when incremental
+  // maintenance is on) its own share graph: free (empty containers) for
+  // dispatchers that never sync into it, incremental for those that do,
+  // outliving every batch.
   partition_.Build(engine_->network(), num_shards_, config_.shard_grid_cols);
+  if (num_shards_ > 1) {
+    owner_->EnsureCachePartitions(num_shards_, config_);
+  }
   shards_.clear();
   shards_.reserve(static_cast<size_t>(num_shards_));
   for (int s = 0; s < num_shards_; ++s) {
     auto sh = std::make_unique<ShardRuntime>();
     sh->id = s;
+    if (num_shards_ > 1) {
+      sh->cache = owner_->cache_partitions_[static_cast<size_t>(s)].get();
+      sh->queries_at_run_start = sh->cache->num_queries();
+      sh->lookups_at_run_start = sh->cache->num_lookups();
+    }
     sh->dispatcher = MakeDispatcher(algorithm_, config_);
     if (config_.incremental_sharegraph) {
-      sh->sharegraph =
-          std::make_unique<ShareGraphBuilder>(engine_, config_.sharegraph);
+      sh->sharegraph = std::make_unique<ShareGraphBuilder>(
+          ShardEngine(*sh), config_.sharegraph);
       sh->sharegraph->set_memoize_pairs(true);
     }
     shards_.push_back(std::move(sh));
   }
+  shard_task_ = [this](size_t s) { RunShardBatch(*shards_[s], round_online_); };
   // Vehicles home to the zone of their spawn node; filling in fleet order
   // keeps every member list ascending (the FleetView contract).
   vehicle_shard_.resize(fleet_.size());
@@ -367,7 +418,11 @@ RunMetrics SimulationEngine::EventRun::Execute() {
     shards_[static_cast<size_t>(vehicle_shard_[vi])]->members.push_back(vi);
   }
   request_shard_.assign(n, 0);
+  // After EnsureCachePartitions: the root's counters aggregate over its
+  // partitions (live or retired), so these baselines make the run's deltas
+  // partition-lifetime-proof.
   queries_before_ = engine_->num_queries();
+  lookups_before_ = engine_->num_lookups();
 
   // Install phase: scenarios reshape the per-run stream and schedule their
   // events before anything fires.
@@ -540,81 +595,61 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
     dispatched_[idx] = 1;
   }
 
-  uint64_t round_allocs = 0;
   round_moves_.clear();
-  for (std::unique_ptr<ShardRuntime>& shp : shards_) {
-    ShardRuntime& sh = *shp;
-    // Each shard's context persists across rounds: outputs keep their
-    // capacity, the pending view is rebuilt in place, the arena rewinds
-    // over warm chunks. A single shard sees the unrestricted fleet — the
-    // pre-sharding context, bitwise.
-    DispatchContext& ctx = sh.ctx;
-    ctx.now = now_;
-    ctx.engine = engine_;
-    ctx.fleet = num_shards_ == 1 ? FleetView(&fleet_)
-                                 : FleetView(&fleet_, &sh.members);
-    ctx.pool = pool_.get();
-    ctx.online_event = online;
-    ctx.sharegraph = sh.sharegraph.get();
-    ctx.assigned.clear();
-    ctx.rejected.clear();
-    ctx.repositions.clear();
-    ctx.pending.clear();
-    ctx.pending.reserve(pending_.size());
-    for (size_t idx : pending_) {
-      if (num_shards_ > 1 && request_shard_[idx] != sh.id) continue;
-      ctx.pending.push_back(&requests_[idx]);
-    }
-    if (config_.soa_pools) {
-      sh.arena.Reset();
-      sh.fleet_soa.Refresh(ctx.fleet);
-      sh.pending_soa.Refresh(
-          Span<const Request* const>(ctx.pending.data(), ctx.pending.size()));
-      ctx.arena = &sh.arena;
-      ctx.fleet_soa = &sh.fleet_soa;
-      ctx.pending_soa = &sh.pending_soa;
-    } else {
-      ctx.arena = nullptr;
-      ctx.fleet_soa = nullptr;
-      ctx.pending_soa = nullptr;
-    }
 
+  // Phase A — batch. Every shard builds its context and runs OnBatch,
+  // touching only shard-local state (its dispatcher, share graph, arena,
+  // SoA planes, cache partition, output buffers) plus read-only global
+  // planes (requests_, pending_, state_, request_shard_, member vehicles).
+  // That isolation is what makes the concurrent path legal; the member-
+  // plane fingerprints assert a slice of it every round. Either way the
+  // per-shard work is identical, so the commit phase below observes the
+  // same buffers and the two modes are bitwise interchangeable.
+  if (num_shards_ > 1) {
+    member_fingerprints_.clear();
+    for (const std::unique_ptr<ShardRuntime>& sh : shards_) {
+      member_fingerprints_.push_back(MemberPlaneFingerprint(sh->members));
+    }
+  }
+  const bool concurrent = num_shards_ > 1 && config_.concurrent_shards &&
+                          pool_ != nullptr && pool_->size() > 1;
+  uint64_t round_allocs = 0;
+  if (concurrent) {
+    // Section-level sampling: once shards share the wall clock and the
+    // process-wide heap counter, per-shard deltas cross-pollute, so the
+    // concurrent mode times the whole parallel section and samples
+    // allocations around it. Both are excluded from the bitwise parity
+    // contract (like running_time); steady-round allocations stay 0 either
+    // way once the pools are warm.
     const uint64_t allocs_before = CurrentHeapAllocCount();
-    auto t0 = std::chrono::steady_clock::now();
-    sh.dispatcher->OnBatch(&ctx);
+    round_online_ = online;
+    const auto t0 = std::chrono::steady_clock::now();
+    pool_->ParallelFor(shards_.size(), shard_task_);
     dispatch_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    round_allocs += CurrentHeapAllocCount() - allocs_before;
-
-    for (RequestId id : ctx.assigned) {
-      auto it = id2idx_.find(id);
-      SR_CHECK(it != id2idx_.end());
-      const size_t idx = it->second;
-      if (num_shards_ > 1) {
-        // Conservation gate: no other shard may have closed it this round.
-        SR_CHECK(state_[idx] == ReqState::kOpen);
-        if (partition_.ShardOfNode(requests_[idx].source) != sh.id) {
-          ++cross_shard_trips_;  // the trip went through the escrow handoff
-        }
-      }
-      CloseRequest(idx, ReqState::kAssigned);
-      ++sh.assigned_total;
-    }
-    for (RequestId id : ctx.rejected) {
-      auto it = id2idx_.find(id);
-      SR_CHECK(it != id2idx_.end());
-      if (num_shards_ > 1) SR_CHECK(state_[it->second] == ReqState::kOpen);
-      CloseRequest(it->second, ReqState::kRejected);
-      ++rejected_;
-    }
-    // Dispatcher-proposed relocations arrive view-local; translate to
-    // fleet-storage indices, applied once after every shard ran.
-    for (const RepositionMove& mv : ctx.repositions) {
-      if (mv.vehicle >= ctx.fleet.size()) continue;
-      round_moves_.push_back({ctx.fleet.global_index(mv.vehicle), mv.target});
+    round_allocs = CurrentHeapAllocCount() - allocs_before;
+  } else {
+    for (std::unique_ptr<ShardRuntime>& shp : shards_) {
+      RunShardBatch(*shp, online);
+      dispatch_seconds_ += shp->last_batch_seconds;
+      round_allocs += shp->last_batch_allocs;
     }
   }
+  if (num_shards_ > 1) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      // No shard may have touched any member plane (its own included)
+      // during the batch phase; residency only moves via migration events
+      // and the escrow drain, never mid-round.
+      SR_CHECK(MemberPlaneFingerprint(shards_[s]->members) ==
+               member_fingerprints_[s]);
+    }
+  }
+
+  // Phase B — commit: merge the output buffers serially in shard-id order,
+  // so request closures, cross-shard accounting and share-graph retirement
+  // observe exactly the serial shard loop's sequence.
+  for (std::unique_ptr<ShardRuntime>& shp : shards_) CommitShardOutputs(*shp);
   if (steady) steady_alloc_samples_.push_back(round_allocs);
 
   if (!round_moves_.empty()) ApplyRepositions(round_moves_);
@@ -642,6 +677,89 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
   // Commits and repositions changed committed timelines; (re)queue one stop
   // event per vehicle with work in flight.
   for (size_t vi = 0; vi < fleet_.size(); ++vi) SyncVehicle(vi);
+}
+
+void SimulationEngine::EventRun::RunShardBatch(ShardRuntime& sh, bool online) {
+  // Each shard's context persists across rounds: outputs keep their
+  // capacity, the pending view is rebuilt in place, the arena rewinds
+  // over warm chunks. A single shard sees the unrestricted fleet and the
+  // root travel-cost engine — the pre-sharding context, bitwise.
+  DispatchContext& ctx = sh.ctx;
+  ctx.now = now_;
+  ctx.engine = ShardEngine(sh);
+  ctx.fleet = num_shards_ == 1 ? FleetView(&fleet_)
+                               : FleetView(&fleet_, &sh.members);
+  ctx.pool = pool_.get();
+  ctx.online_event = online;
+  ctx.sharegraph = sh.sharegraph.get();
+  ctx.assigned.clear();
+  ctx.rejected.clear();
+  ctx.repositions.clear();
+  ctx.pending.clear();
+  ctx.pending.reserve(pending_.size());
+  for (size_t idx : pending_) {
+    if (num_shards_ > 1 && request_shard_[idx] != sh.id) continue;
+    ctx.pending.push_back(&requests_[idx]);
+  }
+  if (config_.soa_pools) {
+    sh.arena.Reset();
+    sh.fleet_soa.Refresh(ctx.fleet);
+    sh.pending_soa.Refresh(
+        Span<const Request* const>(ctx.pending.data(), ctx.pending.size()));
+    ctx.arena = &sh.arena;
+    ctx.fleet_soa = &sh.fleet_soa;
+    ctx.pending_soa = &sh.pending_soa;
+  } else {
+    ctx.arena = nullptr;
+    ctx.fleet_soa = nullptr;
+    ctx.pending_soa = nullptr;
+  }
+
+  const uint64_t allocs_before = CurrentHeapAllocCount();
+  auto t0 = std::chrono::steady_clock::now();
+  sh.dispatcher->OnBatch(&ctx);
+  sh.last_batch_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  sh.batch_seconds_total += sh.last_batch_seconds;
+  sh.last_batch_allocs = CurrentHeapAllocCount() - allocs_before;
+}
+
+void SimulationEngine::EventRun::CommitShardOutputs(ShardRuntime& sh) {
+  DispatchContext& ctx = sh.ctx;
+  for (RequestId id : ctx.assigned) {
+    auto it = id2idx_.find(id);
+    SR_CHECK(it != id2idx_.end());
+    const size_t idx = it->second;
+    if (num_shards_ > 1) {
+      // Conservation gates: no other shard may have closed it this round,
+      // and a shard may only ever assign requests homed to it (its pending
+      // view was filtered on exactly that).
+      SR_CHECK(state_[idx] == ReqState::kOpen);
+      SR_CHECK(request_shard_[idx] == sh.id);
+      if (partition_.ShardOfNode(requests_[idx].source) != sh.id) {
+        ++cross_shard_trips_;  // the trip went through the escrow handoff
+      }
+    }
+    CloseRequest(idx, ReqState::kAssigned);
+    ++sh.assigned_total;
+  }
+  for (RequestId id : ctx.rejected) {
+    auto it = id2idx_.find(id);
+    SR_CHECK(it != id2idx_.end());
+    if (num_shards_ > 1) {
+      SR_CHECK(state_[it->second] == ReqState::kOpen);
+      SR_CHECK(request_shard_[it->second] == sh.id);
+    }
+    CloseRequest(it->second, ReqState::kRejected);
+    ++rejected_;
+  }
+  // Dispatcher-proposed relocations arrive view-local; translate to
+  // fleet-storage indices, applied once after every shard committed.
+  for (const RepositionMove& mv : ctx.repositions) {
+    if (mv.vehicle >= ctx.fleet.size()) continue;
+    round_moves_.push_back({ctx.fleet.global_index(mv.vehicle), mv.target});
+  }
 }
 
 void SimulationEngine::EventRun::DrainEscrow() {
@@ -859,17 +977,35 @@ RunMetrics SimulationEngine::EventRun::Finalize() {
   uint64_t pair_checks = 0;
   size_t memory_bytes = 0;
   std::vector<uint64_t> loads;
+  std::vector<double> batch_times;
   loads.reserve(shards_.size());
+  batch_times.reserve(shards_.size());
   for (const std::unique_ptr<ShardRuntime>& sh : shards_) {
     pair_checks += sh->dispatcher->SharePairChecks();
     memory_bytes += sh->dispatcher->MemoryBytes();
     loads.push_back(sh->assigned_total);
+    batch_times.push_back(sh->batch_seconds_total);
+    // Per-shard cache accounting: the shard's partition under geo-sharding,
+    // the root engine's run delta at 1 shard (where the single shard *is*
+    // the whole run).
+    uint64_t q, l;
+    if (sh->cache != nullptr) {
+      q = sh->cache->num_queries() - sh->queries_at_run_start;
+      l = sh->cache->num_lookups() - sh->lookups_at_run_start;
+    } else {
+      q = engine_->num_queries() - queries_before_;
+      l = engine_->num_lookups() - lookups_before_;
+    }
+    metrics.shard_sp_queries.push_back(q);
+    metrics.shard_cache_hit_rate.push_back(
+        l == 0 ? 0 : 1.0 - static_cast<double>(q) / static_cast<double>(l));
   }
   metrics.sharegraph_pair_checks = pair_checks;
   metrics.memory_bytes = memory_bytes;
   metrics.num_shards = num_shards_;
   metrics.cross_shard_trips = cross_shard_trips_;
   metrics.shard_load_max_over_mean = ShardLoadMaxOverMean(loads);
+  metrics.shard_round_time_max_over_mean = MaxOverMean(batch_times);
   metrics.late_dropoffs = late_dropoffs_;
   if (num_shards_ > 1) {
     // Final census: every request reached exactly one terminal outcome.
@@ -900,6 +1036,29 @@ RunMetrics SimulationEngine::Run(const std::string& algorithm,
   return run.Execute();
 }
 
+void SimulationEngine::EnsureCachePartitions(int num_shards,
+                                             const DispatchConfig& config) {
+  size_t capacity = config.shard_cache_capacity;
+  if (capacity == 0) {
+    capacity = std::max<size_t>(
+        1024, engine_->options().cache_capacity /
+                  static_cast<size_t>(std::max(1, num_shards)));
+  }
+  const size_t stripes =
+      config.shard_cache_stripes != 0 ? config.shard_cache_stripes : 16;
+  if (cache_partitions_.size() == static_cast<size_t>(num_shards) &&
+      partition_capacity_ == capacity && partition_stripes_ == stripes) {
+    return;  // shape unchanged — keep the warm partitions
+  }
+  cache_partitions_.clear();
+  cache_partitions_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    cache_partitions_.push_back(engine_->MakeCachePartition(capacity, stripes));
+  }
+  partition_capacity_ = capacity;
+  partition_stripes_ = stripes;
+}
+
 // ---------------------------------------------------------------------------
 // The frozen fixed-batch loop: the pre-event engine, kept verbatim (modulo
 // the shared fleet/cancellation draw helpers and the service-quality
@@ -928,6 +1087,7 @@ RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
     pool = std::make_unique<ThreadPool>(config.num_threads);
   }
   const uint64_t queries_before = engine_->num_queries();
+  const uint64_t lookups_before = engine_->num_lookups();
 
   std::unordered_map<RequestId, size_t> id2idx;
   id2idx.reserve(n);
@@ -1073,6 +1233,18 @@ RunMetrics SimulationEngine::RunLegacy(const std::string& algorithm,
   metrics.sharegraph_pair_checks = dispatcher->SharePairChecks();
   metrics.memory_bytes = dispatcher->MemoryBytes();
   metrics.late_dropoffs = late_dropoffs;
+  // Single-region per-shard observability: one entry mirroring the run's
+  // global counters, and a time-imbalance ratio of 1 whenever any dispatch
+  // time accrued (the lone shard did all the work).
+  metrics.shard_sp_queries.push_back(metrics.sp_queries);
+  {
+    const uint64_t lookups = engine_->num_lookups() - lookups_before;
+    metrics.shard_cache_hit_rate.push_back(
+        lookups == 0 ? 0
+                     : 1.0 - static_cast<double>(metrics.sp_queries) /
+                                 static_cast<double>(lookups));
+  }
+  metrics.shard_round_time_max_over_mean = dispatch_seconds > 0 ? 1.0 : 0.0;
   FinalizeServiceQuality(requests_, served_mask, pickup_time, dropoff_time,
                          &metrics);
   return metrics;

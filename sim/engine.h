@@ -96,6 +96,19 @@ struct RunMetrics {
   /// max/mean of per-shard assignment counts over the run; 1 is perfectly
   /// balanced, num_shards is one shard doing all the work.
   double shard_load_max_over_mean = 0;
+  /// Per-shard observability (one entry per shard, shard-id order; a single
+  /// entry mirroring the global counters at num_shards == 1 and in
+  /// RunLegacy). Backend computations charged to each shard's cache
+  /// partition this run, and the partition's hit rate over the run — exact
+  /// and thread-count-invariant per shard, since a shard only ever queries
+  /// its own partition.
+  std::vector<uint64_t> shard_sp_queries;
+  std::vector<double> shard_cache_hit_rate;
+  /// max/mean of per-shard OnBatch wall seconds over the run — the
+  /// time-domain imbalance (the quantity that bounds the concurrent round's
+  /// speedup), as shard_load_max_over_mean is the assignment-domain one.
+  /// Wall-clock derived, so excluded from bitwise parity contracts.
+  double shard_round_time_max_over_mean = 0;
   // Per-rider service quality over the served riders (0 when none served):
   double pickup_wait_p50 = 0;     ///< median pickup - release wait
   double pickup_wait_p99 = 0;     ///< nearest-rank p99 pickup wait
@@ -159,6 +172,12 @@ class SimulationEngine {
   /// Per-request cancellation delay after release (+inf = never cancels);
   /// consumes run_rng_ exactly like the legacy draw loop did.
   std::vector<double> DrawCancelOffsets();
+  /// (Re)builds the per-shard travel-cost cache partitions
+  /// (TravelCostEngine::MakeCachePartition) to match the shard count and
+  /// DispatchConfig sizing. Partitions persist across Runs on this engine —
+  /// like the root cache, they stay warm — and are only rebuilt when the
+  /// shape changes.
+  void EnsureCachePartitions(int num_shards, const DispatchConfig& config);
 
   TravelCostEngine* engine_;
   std::vector<Request> requests_;  ///< sorted by release time
@@ -168,6 +187,13 @@ class SimulationEngine {
   Rng run_rng_;  ///< fault-model draws; advances across runs (see header)
   std::vector<std::unique_ptr<Scenario>> scenarios_;
   std::unique_ptr<RepositioningPolicy> repositioning_;
+  /// One travel-cost cache partition per shard under geo-sharding (empty
+  /// until a multi-shard Run). Children of engine_, so they must not
+  /// outlive it — callers construct the root engine before the simulation
+  /// engine, and destruction order follows.
+  std::vector<std::unique_ptr<TravelCostEngine>> cache_partitions_;
+  size_t partition_capacity_ = 0;
+  size_t partition_stripes_ = 0;
 };
 
 }  // namespace structride

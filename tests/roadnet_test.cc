@@ -147,6 +147,39 @@ TEST(RoadnetTest, ConcurrentColdMissesCountEachPairOnce) {
   }
 }
 
+// Cache partitions (DESIGN.md §12): a partition shares the parent's frozen
+// backend but owns a private LRU and counters; the parent aggregates its
+// own traffic plus every partition's, live or destroyed.
+TEST(RoadnetTest, CachePartitionsIsolateLruAndAggregateCounters) {
+  const RoadNetwork& net = Net();
+  TravelCostEngine root(net);
+  const double ref = root.Cost(0, 50);
+  EXPECT_EQ(root.num_queries(), 1u);
+  {
+    auto a = root.MakeCachePartition(/*capacity=*/64, /*stripes=*/4);
+    auto b = root.MakeCachePartition(/*capacity=*/64, /*stripes=*/4);
+    EXPECT_TRUE(a->is_partition());
+    EXPECT_FALSE(root.is_partition());
+    // Cold in each partition even though hot in the root: private LRUs,
+    // one backend computation per partition.
+    EXPECT_DOUBLE_EQ(a->Cost(0, 50), ref);
+    EXPECT_DOUBLE_EQ(b->Cost(0, 50), ref);
+    // The flipped direction is the canonical pair: a pure hit.
+    EXPECT_DOUBLE_EQ(a->Cost(50, 0), ref);
+    EXPECT_EQ(a->num_queries(), 1u);
+    EXPECT_EQ(b->num_queries(), 1u);
+    EXPECT_EQ(a->num_lookups(), 2u);
+    EXPECT_EQ(b->num_lookups(), 1u);
+    // The parent reports the aggregate over itself and live partitions.
+    EXPECT_EQ(root.num_queries(), 3u);
+    EXPECT_EQ(root.num_lookups(), 4u);
+  }
+  // Dying partitions fold their counts into the parent: the process-wide
+  // totals are unaffected by partition lifetimes.
+  EXPECT_EQ(root.num_queries(), 3u);
+  EXPECT_EQ(root.num_lookups(), 4u);
+}
+
 TEST(RoadnetTest, SelfCostIsZeroAndFree) {
   TravelCostEngine engine(Net());
   uint64_t before = engine.num_queries();

@@ -407,6 +407,127 @@ TEST(ShardEscrowTest, HandoffCrossesTheBoundary) {
   ExpectCensusBalanced(m);
 }
 
+// ------------------------------------- concurrent shard execution gate --
+
+// The PR-8 contract (DESIGN.md §12): concurrent_shards=true runs the
+// per-shard batch phase as independent pool tasks, but the buffer-then-
+// commit protocol keeps it bitwise identical to the serial shard-id-order
+// reference — outcomes, costs, #SP queries, and the per-shard counter
+// vectors. shard_cache_capacity is pinned large enough that no travel-cost
+// partition ever evicts: eviction *order* under sard_parallel_acceptance is
+// the one documented place the two interleavings could legally differ.
+TEST(ShardConcurrencyTest, ConcurrentMatchesSerialAcrossRoster) {
+  for (const std::string& ds :
+       {std::string("CHD"), std::string("NYC"), std::string("Cainiao")}) {
+    for (const std::string& algo : ListDispatchers()) {
+      for (int threads : {1, 8}) {
+        SCOPED_TRACE(ds + " " + algo + " threads=" + std::to_string(threads));
+        auto run_once = [&](bool concurrent) {
+          TinyPreset preset(ds);
+          DispatchConfig config = preset.Config(threads);
+          config.num_shards = 4;
+          config.concurrent_shards = concurrent;
+          config.shard_cache_capacity = size_t{1} << 16;
+          return preset.MakeEngine(preset.Options())->Run(algo, config);
+        };
+        RunMetrics on = run_once(true);
+        RunMetrics off = run_once(false);
+        ExpectBitwiseEqual(on, off);
+        EXPECT_EQ(on.shard_sp_queries, off.shard_sp_queries);
+        EXPECT_EQ(on.shard_cache_hit_rate, off.shard_cache_hit_rate);
+        ExpectCensusBalanced(on);
+        EXPECT_EQ(on.num_shards, 4);
+      }
+    }
+  }
+}
+
+// Same gate under the randomized cancellation fault model: the concurrent
+// batch phase must not perturb the RNG stream or the escrow bookkeeping —
+// every seed replays bitwise against its serial reference.
+TEST(ShardConcurrencyTest, RandomizedFaultModelMatchesSerialBitwise) {
+  for (uint64_t seed : {uint64_t{77}, uint64_t{31337}, uint64_t{424242}}) {
+    for (int shards : {2, 4}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " shards=" + std::to_string(shards));
+      auto run_once = [&](bool concurrent) {
+        TinyPreset preset("CHD");
+        SimulationOptions sopts = preset.Options(seed);
+        sopts.cancellation_rate = 0.35;
+        sopts.cancellation_patience = 15;
+        DispatchConfig config = preset.Config(8);
+        config.num_shards = shards;
+        config.concurrent_shards = concurrent;
+        config.shard_cache_capacity = size_t{1} << 16;
+        return preset.MakeEngine(sopts)->Run("SARD", config);
+      };
+      RunMetrics on = run_once(true);
+      RunMetrics off = run_once(false);
+      ExpectBitwiseEqual(on, off);
+      EXPECT_EQ(on.shard_sp_queries, off.shard_sp_queries);
+      EXPECT_EQ(on.shard_cache_hit_rate, off.shard_cache_hit_rate);
+      ExpectCensusBalanced(on);
+    }
+  }
+}
+
+// Dense-boundary stress: a line city split into four zones with every
+// request crossing at least one zone boundary and a fleet too small to
+// populate every zone — maximal escrow/re-homing traffic. The concurrent
+// phase must reproduce the serial reference bitwise while actually
+// performing cross-shard handoffs (not vacuously, cross_shard_trips > 0).
+TEST(ShardConcurrencyTest, DenseBoundaryStressMatchesSerialBitwise) {
+  constexpr int kNodes = 40;
+  auto run_once = [&](bool concurrent) {
+    RoadNetwork net;
+    for (int i = 0; i < kNodes; ++i) {
+      net.AddNode({static_cast<double>(i), 0});
+    }
+    for (int i = 0; i + 1 < kNodes; ++i) {
+      net.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 1);
+    }
+    TravelCostEngine engine(net);
+
+    // Twelve requests, sources cycling through all four zones, every
+    // destination 15 nodes away (one to two boundaries crossed).
+    std::vector<Request> requests;
+    for (int k = 0; k < 12; ++k) {
+      Request r;
+      r.id = k;
+      r.source = static_cast<NodeId>(2 + 10 * (k % 4));
+      r.destination =
+          static_cast<NodeId>((r.source + 15) % kNodes);
+      r.release_time = 1 + 4 * k;
+      r.direct_cost = engine.Cost(r.source, r.destination);
+      r.latest_pickup = r.release_time + 150;
+      r.deadline = r.release_time + 400;
+      requests.push_back(r);
+    }
+
+    SimulationOptions sopts;
+    sopts.batch_period = 5;
+    sopts.seed = 4242;
+    SimulationEngine sim(&engine, requests, sopts);
+    sim.SpawnFleet(3, 2);  // three vehicles over four zones: one zone empty
+
+    DispatchConfig config;
+    config.num_shards = 4;
+    config.shard_grid_cols = 4;
+    config.concurrent_shards = concurrent;
+    config.num_threads = 8;
+    config.shard_cache_capacity = size_t{1} << 16;
+    return sim.Run("SARD", config);
+  };
+  RunMetrics on = run_once(true);
+  RunMetrics off = run_once(false);
+  ExpectBitwiseEqual(on, off);
+  EXPECT_EQ(on.shard_sp_queries, off.shard_sp_queries);
+  EXPECT_EQ(on.shard_cache_hit_rate, off.shard_cache_hit_rate);
+  ExpectCensusBalanced(on);
+  EXPECT_GT(on.cross_shard_trips, 0);
+  EXPECT_EQ(on.num_shards, 4);
+}
+
 // ------------------------------------------------------- zonal scenarios --
 
 // Zone-targeted downtime pulls every in-service vehicle of its zone and

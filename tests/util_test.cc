@@ -90,6 +90,24 @@ TEST(ThreadPoolTest, SingleThreadAndEmptyRangesRunInline) {
   EXPECT_EQ(calls, 7);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Re-entering the pool from inside one of its own tasks must degrade to
+  // the inline serial path (every worker could otherwise block waiting for
+  // workers that no longer exist). Deterministic too: the inner loop runs
+  // in index order on the calling worker.
+  ThreadPool pool(4);
+  std::vector<int> outer(8, 0);
+  std::atomic<long> inner_sum{0};
+  pool.ParallelFor(outer.size(), [&](size_t i) {
+    ++outer[i];
+    pool.ParallelFor(10, [&](size_t j) {
+      inner_sum.fetch_add(static_cast<long>(j), std::memory_order_relaxed);
+    });
+  });
+  for (int c : outer) EXPECT_EQ(c, 1);
+  EXPECT_EQ(inner_sum.load(), 8l * 45);
+}
+
 TEST(AngleTest, OrthogonalAndParallel) {
   EXPECT_NEAR(AngleBetween({1, 0}, {0, 1}), kPi / 2, 1e-12);
   EXPECT_NEAR(AngleBetween({1, 0}, {2, 0}), 0, 1e-12);

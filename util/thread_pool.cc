@@ -4,6 +4,16 @@
 
 namespace structride {
 
+namespace {
+
+// The pool this thread is currently draining a generation for. A nested
+// ParallelFor on the same pool (e.g. a dispatcher pricing groups from inside
+// a concurrent shard task) would wait forever on the generation barrier, so
+// ParallelFor checks this marker and runs nested ranges inline instead.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   int workers = std::max(0, num_threads - 1);
   workers_.reserve(static_cast<size_t>(workers));
@@ -27,10 +37,13 @@ void ThreadPool::Drain() {
   // reports back.
   const std::function<void(size_t)>& fn = *fn_;
   const size_t n = n_;
+  const ThreadPool* prev = tls_active_pool;
+  tls_active_pool = this;
   for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
        i = next_.fetch_add(1, std::memory_order_relaxed)) {
     fn(i);
   }
+  tls_active_pool = prev;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,7 +65,10 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  if (tls_active_pool == this || workers_.empty() || n == 1) {
+    // Inline path: trivial ranges, no workers, or a nested call from inside
+    // a generation this thread is already draining (re-arming the barrier
+    // from a worker would deadlock). Serial, hence deterministic.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

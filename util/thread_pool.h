@@ -36,8 +36,11 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs fn(i) for every i in [0, n); blocks until all complete. Indices
-  /// are claimed dynamically, so uneven task costs balance. Not reentrant:
-  /// one ParallelFor at a time per pool, and fn must not call back in.
+  /// are claimed dynamically, so uneven task costs balance. One top-level
+  /// ParallelFor at a time per pool; a nested call made from inside fn on
+  /// the same pool is detected and runs its whole range inline on the
+  /// calling thread (serially, hence deterministically) instead of
+  /// deadlocking on the generation barrier.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
