@@ -6,7 +6,7 @@ Usage:
 
 Both directories are scanned for BENCH_*.json files (the format written by
 bench/harness.cc's WriteJsonAtExit). Rows are matched across the two
-directories by (bench, series, point) and checked two ways:
+directories by (bench, dataset, series, point) and checked two ways:
 
   * Parity metrics (served / cancelled / expired / rejected /
     total_requests / sp_queries / unified_cost / service_rate /
@@ -24,6 +24,21 @@ Optionally --min-speedup R requires candidate rows matching
 (the CI serial-vs-concurrent shard cell: baseline dir ran with
 STRUCTRIDE_CONC_SHARDS=0). The filter failing to match any row is itself a
 failure, so a renamed bench point cannot silently skip the gate.
+
+--config FILE supplies per-cell overrides as JSON, so one invocation can
+hold different rows to different bars (a qps bench is noisier than a replay
+bench). Format:
+
+    {"cells": [
+        {"match": "svc_sustained_qps", "max_regress_pct": 30,
+         "min_time": 0.2},
+        {"match": "abl_sharding / SARD", "min_speedup": 1.3}
+    ]}
+
+Each row resolves against the FIRST cell whose "match" substring occurs in
+"bench / series / point"; its max_regress_pct / min_time / min_speedup
+replace the global flags for that row. A config cell that matches no row at
+all is a failure (same no-silent-skip rule as --speedup-filter).
 
 Exit status: 0 when every gate passes, 1 otherwise (and a summary of every
 violation on stderr). Baseline rows missing from the candidate fail; rows
@@ -53,7 +68,9 @@ PARITY_FIELDS = [
 
 
 def load_rows(directory):
-    """Returns {(bench, series, point): row} over all BENCH_*.json files."""
+    """Returns {(bench, dataset, series, point): row} over all BENCH_*.json
+    files. The dataset is part of the key because multi-city benches reuse
+    the same (series, point) labels per city."""
     rows = {}
     paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
     if not paths:
@@ -68,7 +85,8 @@ def load_rows(directory):
             sys.exit(2)
         bench = doc.get("bench", os.path.basename(path))
         for row in doc.get("rows", []):
-            key = (bench, row.get("series", ""), row.get("point", ""))
+            key = (bench, row.get("dataset", ""), row.get("series", ""),
+                   row.get("point", ""))
             if key in rows:
                 sys.stderr.write(
                     "compare_bench: duplicate row %r in %s\n" % (key, path))
@@ -78,7 +96,7 @@ def load_rows(directory):
 
 
 def fmt(key):
-    return "%s / %s / %s" % key
+    return "%s / %s / %s / %s" % key
 
 
 def main():
@@ -97,7 +115,44 @@ def main():
     ap.add_argument("--speedup-filter", default="",
                     help="substring of 'series / point' selecting the rows "
                          "the --min-speedup gate applies to (default: all)")
+    ap.add_argument("--config", default=None, metavar="FILE",
+                    help="JSON file of per-cell gate overrides (see "
+                         "module docstring)")
     args = ap.parse_args()
+
+    config_cells = []
+    if args.config is not None:
+        try:
+            with open(args.config) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            sys.stderr.write(
+                "compare_bench: cannot read --config %s: %s\n"
+                % (args.config, e))
+            sys.exit(2)
+        for cell in doc.get("cells", []):
+            if not isinstance(cell, dict) or "match" not in cell:
+                sys.stderr.write(
+                    "compare_bench: every config cell needs a \"match\" "
+                    "string: %r\n" % (cell,))
+                sys.exit(2)
+            unknown = set(cell) - {
+                "match", "max_regress_pct", "min_time", "min_speedup"}
+            if unknown:
+                sys.stderr.write(
+                    "compare_bench: unknown config keys %r in %r\n"
+                    % (sorted(unknown), cell["match"]))
+                sys.exit(2)
+            config_cells.append(dict(cell, hits=0))
+
+    def cell_for(key):
+        """First config cell whose match occurs in the row's full label."""
+        label = fmt(key)
+        for cell in config_cells:
+            if cell["match"] in label:
+                cell["hits"] += 1
+                return cell
+        return None
 
     base = load_rows(args.baseline)
     cand = load_rows(args.candidate)
@@ -121,25 +176,35 @@ def main():
                 failures.append(
                     "parity drift on %s: %s %r -> %r"
                     % (fmt(key), field, bval, cval))
+        cell = cell_for(key)
+        max_regress = args.max_regress_pct
+        min_time = args.min_time
+        min_speedup = args.min_speedup
+        speedup_gated = args.min_speedup is not None and \
+            args.speedup_filter in "%s / %s / %s" % (key[1], key[2], key[3])
+        if cell is not None:
+            max_regress = cell.get("max_regress_pct", max_regress)
+            min_time = cell.get("min_time", min_time)
+            if "min_speedup" in cell:
+                min_speedup = cell["min_speedup"]
+                speedup_gated = True
         bt = brow.get("running_time_s", 0.0)
         ct = crow.get("running_time_s", 0.0)
-        if bt >= args.min_time and ct > bt * (1 + args.max_regress_pct / 100):
+        if bt >= min_time and ct > bt * (1 + max_regress / 100):
             regressions += 1
             failures.append(
                 "time regression on %s: %.3fs -> %.3fs (+%.1f%% > %.1f%%)"
-                % (fmt(key), bt, ct, 100 * (ct / bt - 1),
-                   args.max_regress_pct))
-        if args.min_speedup is not None and \
-                args.speedup_filter in "%s / %s" % (key[1], key[2]):
+                % (fmt(key), bt, ct, 100 * (ct / bt - 1), max_regress))
+        if speedup_gated:
             speedup_rows += 1
             speedup = bt / ct if ct > 0 else float("inf")
-            marker = "ok" if speedup >= args.min_speedup else "FAIL"
+            marker = "ok" if speedup >= min_speedup else "FAIL"
             print("speedup %s: %.3fs / %.3fs = %.2fx (need %.2fx) [%s]"
-                  % (fmt(key), bt, ct, speedup, args.min_speedup, marker))
-            if speedup < args.min_speedup:
+                  % (fmt(key), bt, ct, speedup, min_speedup, marker))
+            if speedup < min_speedup:
                 failures.append(
                     "speedup %.2fx < %.2fx on %s"
-                    % (speedup, args.min_speedup, fmt(key)))
+                    % (speedup, min_speedup, fmt(key)))
 
     for key in sorted(set(cand) - set(base)):
         print("note: new row (not in baseline): %s" % fmt(key))
@@ -148,6 +213,10 @@ def main():
         failures.append(
             "--min-speedup set but --speedup-filter %r matched no rows"
             % args.speedup_filter)
+    for cell in config_cells:
+        if cell["hits"] == 0:
+            failures.append(
+                "--config cell %r matched no rows" % cell["match"])
 
     print("compare_bench: %d rows compared, %d timing regressions, "
           "%d gate failures" % (compared, regressions, len(failures)))

@@ -110,7 +110,12 @@ void WriteJsonAtExit() {
         "\"shard_sp_queries\": [%s], \"shard_cache_hit_rate\": [%s], "
         "\"shard_round_time_max_over_mean\": %.6f, "
         "\"allocs_per_batch_p50\": %llu, \"allocs_per_batch_max\": %llu, "
-        "\"arena_peak_bytes\": %zu}%s\n",
+        "\"arena_peak_bytes\": %zu, "
+        "\"dispatch_latency_p50_ms\": %.6f, "
+        "\"dispatch_latency_p99_ms\": %.6f, "
+        "\"dispatch_latency_p999_ms\": %.6f, "
+        "\"max_sustained_qps\": %.3f, \"shed_requests\": %llu, "
+        "\"ingest_queue_depth_max\": %llu}%s\n",
         JsonEscape(r.series).c_str(), JsonEscape(r.point).c_str(),
         JsonEscape(m.dataset).c_str(), JsonEscape(m.algorithm).c_str(),
         m.unified_cost, m.travel_cost, m.penalty_cost, m.service_rate,
@@ -125,7 +130,11 @@ void WriteJsonAtExit() {
         m.shard_round_time_max_over_mean,
         static_cast<unsigned long long>(m.allocs_per_batch_p50),
         static_cast<unsigned long long>(m.allocs_per_batch_max),
-        m.arena_peak_bytes, i + 1 < state.rows.size() ? "," : "");
+        m.arena_peak_bytes, m.dispatch_latency_p50_ms,
+        m.dispatch_latency_p99_ms, m.dispatch_latency_p999_ms,
+        m.max_sustained_qps, static_cast<unsigned long long>(m.shed_requests),
+        static_cast<unsigned long long>(m.ingest_queue_depth_max),
+        i + 1 < state.rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"values\": [\n");
   for (size_t i = 0; i < state.values.size(); ++i) {
@@ -248,6 +257,70 @@ bool BenchConcurrentShards() {
   return true;
 }
 
+int BenchThreads() {
+  const char* env = std::getenv("STRUCTRIDE_THREADS");
+  if (env == nullptr) return 4;
+  char* end = nullptr;
+  long t = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || t < 1) {
+    std::fprintf(stderr,
+                 "[bench] ignoring STRUCTRIDE_THREADS=\"%s\" (want a positive "
+                 "integer); using the default 4\n",
+                 env);
+    return 4;
+  }
+  return static_cast<int>(t);
+}
+
+double BenchQps() {
+  const char* env = std::getenv("STRUCTRIDE_QPS");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  double q = std::strtod(env, &end);
+  if (end == env || *end != '\0' || q < 0) {
+    std::fprintf(stderr,
+                 "[bench] ignoring STRUCTRIDE_QPS=\"%s\" (want a "
+                 "non-negative number); using the default 0 (replay)\n",
+                 env);
+    return 0;
+  }
+  return q;
+}
+
+double BenchSloP99Ms() {
+  const char* env = std::getenv("STRUCTRIDE_SLO_P99_MS");
+  if (env == nullptr) return 250;
+  char* end = nullptr;
+  double ms = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(ms > 0)) {
+    std::fprintf(stderr,
+                 "[bench] ignoring STRUCTRIDE_SLO_P99_MS=\"%s\" (want a "
+                 "positive number); using the default 250\n",
+                 env);
+    return 250;
+  }
+  return ms;
+}
+
+TravelCostOptions::Backend BenchSpBackend() {
+  const char* env = std::getenv("STRUCTRIDE_SP_BACKEND");
+  if (env == nullptr) return TravelCostOptions::Backend::kHubLabeling;
+  if (std::strcmp(env, "hl") == 0) {
+    return TravelCostOptions::Backend::kHubLabeling;
+  }
+  if (std::strcmp(env, "ch") == 0) {
+    return TravelCostOptions::Backend::kContractionHierarchies;
+  }
+  if (std::strcmp(env, "bd") == 0) {
+    return TravelCostOptions::Backend::kBidirectionalDijkstra;
+  }
+  std::fprintf(stderr,
+               "[bench] ignoring STRUCTRIDE_SP_BACKEND=\"%s\" (want hl, ch "
+               "or bd); using the default hl\n",
+               env);
+  return TravelCostOptions::Backend::kHubLabeling;
+}
+
 std::vector<std::string> BenchAlgorithms() {
   const char* env = std::getenv("STRUCTRIDE_ALGOS");
   if (env == nullptr) return AllDispatcherNames();
@@ -265,7 +338,9 @@ BenchContext::BenchContext(const std::string& dataset, double scale)
   // DatasetByName already scaled the request count, fleet size and arrival
   // window (exactly once — see sim/datasets.h); nothing to rescale here.
   net_ = BuildNetwork(&spec_);
-  engine_ = std::make_unique<TravelCostEngine>(net_);
+  TravelCostOptions topts;
+  topts.backend = BenchSpBackend();
+  engine_ = std::make_unique<TravelCostEngine>(net_, topts);
   std::fprintf(stderr, "[bench] %s: %zu nodes, %zu edges, %d requests, %d vehicles\n",
                spec_.name.c_str(), net_.num_nodes(), net_.num_edges(),
                spec_.workload.num_requests, spec_.num_vehicles);
@@ -297,6 +372,11 @@ RunMetrics BenchContext::Run(const std::string& algorithm,
   sopts.capacity_sigma = params.capacity_sigma;
   sopts.capacity_mean = params.capacity_sigma > 0 ? 4 : capacity;
   if (params.capacity_sigma > 0) capacity = 4;  // Appendix C: mean 4
+  const double qps = BenchQps();
+  if (qps > 0) {
+    sopts.service_mode = true;
+    sopts.service_qps = qps;
+  }
 
   SimulationEngine sim(engine_.get(), requests_, sopts);
   int vehicles = params.num_vehicles > 0 ? params.num_vehicles : spec_.num_vehicles;
@@ -309,7 +389,7 @@ RunMetrics BenchContext::Run(const std::string& algorithm,
   config.sharegraph.vehicle_capacity = capacity;
   config.sharegraph.use_angle_pruning = params.angle_pruning;
   config.ilp_node_cap = 200'000;
-  config.num_threads = 4;
+  config.num_threads = BenchThreads();
   config.num_shards = BenchShards();
   config.concurrent_shards = BenchConcurrentShards();
 

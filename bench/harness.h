@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "roadnet/travel_cost.h"
 #include "sim/datasets.h"
 #include "sim/engine.h"
 
@@ -73,6 +74,26 @@ int BenchShards();
 /// shard execution can be compared across two bench invocations (the CI
 /// compare_bench.py cell) without a rebuild. 0 = serial reference.
 bool BenchConcurrentShards();
+
+/// \brief Env-var worker-thread count (STRUCTRIDE_THREADS, default 4):
+/// every BenchContext::Run dispatches with DispatchConfig::num_threads set
+/// to this, so the sweep generator can grid over thread counts.
+int BenchThreads();
+
+/// \brief Env-var service-mode arrival rate (STRUCTRIDE_QPS, default 0):
+/// when positive, every BenchContext::Run enables the streaming service
+/// mode (DESIGN.md §13) at this wall-clock qps; 0 keeps the replay engine.
+double BenchQps();
+
+/// \brief Env-var dispatch-latency SLO (STRUCTRIDE_SLO_P99_MS, default
+/// 250): the p99 ingest→decision bound the sustained-qps bench and the CI
+/// service gate hold runs to, in milliseconds.
+double BenchSloP99Ms();
+
+/// \brief Env-var travel-cost backend (STRUCTRIDE_SP_BACKEND: "hl", "ch" or
+/// "bd"; default "hl"): the shortest-path backend BenchContext builds its
+/// engine with, so the sweep generator can grid over backends.
+TravelCostOptions::Backend BenchSpBackend();
 
 /// \brief Escapes \p s for embedding inside a JSON string literal: quotes,
 /// backslashes, the named control escapes (\b \f \n \r \t) and \u00XX for

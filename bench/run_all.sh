@@ -18,6 +18,9 @@
 #                         STRUCTRIDE_JSON_DIR and fails the run on parity
 #                         drift or timing regression; extra flags via
 #                         STRUCTRIDE_COMPARE_ARGS (e.g. --min-speedup)
+#   STRUCTRIDE_SVC_DATASETS / STRUCTRIDE_SVC_SHARDS  the sustained-qps
+#                         service bench's grid (smoke defaults: NYC, 1);
+#                         SLO via STRUCTRIDE_SLO_P99_MS (default 250 ms)
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -88,6 +91,46 @@ if [ "$BENCH_SET" != "micro" ]; then
     fi
     ran=$((ran + 1))
   done
+fi
+
+if [ "$BENCH_SET" != "micro" ]; then
+  # Service-mode sustained-qps probe (DESIGN.md §13). Smoke defaults: one
+  # city, single-shard, SARD-only — the full grid is a nightly-perf job,
+  # not a smoke gate. Callers override via the STRUCTRIDE_SVC_* knobs.
+  exe="$BUILD_DIR/svc_sustained_qps"
+  if [ ! -x "$exe" ]; then
+    echo "missing: svc_sustained_qps" >&2
+    failures=$((failures + 1))
+    note "svc_sustained_qps" MISSING -
+  else
+    echo "=== svc_sustained_qps (scale $STRUCTRIDE_SCALE) ==="
+    if STRUCTRIDE_SVC_DATASETS="${STRUCTRIDE_SVC_DATASETS:-NYC}" \
+       STRUCTRIDE_SVC_SHARDS="${STRUCTRIDE_SVC_SHARDS:-1}" \
+       STRUCTRIDE_ALGOS="${STRUCTRIDE_ALGOS:-SARD}" \
+       "$exe"; then
+      note "svc_sustained_qps" ok 0
+    else
+      rc=$?
+      echo "FAILED: svc_sustained_qps (exit $rc)" >&2
+      failures=$((failures + 1))
+      note "svc_sustained_qps" FAIL "$rc"
+    fi
+    ran=$((ran + 1))
+  fi
+
+  # Grid-sweep generator smoke: exercises the cell runner, the merge and
+  # the Markdown writer on a tiny grid (results land under the json dir).
+  echo "=== sweep.py --smoke ==="
+  if python3 "$(dirname "$0")/sweep.py" --smoke --bindir "$BUILD_DIR" \
+       --out "$STRUCTRIDE_JSON_DIR/sweep_smoke"; then
+    note "sweep.py" ok 0
+  else
+    rc=$?
+    echo "FAILED: sweep.py --smoke (exit $rc)" >&2
+    failures=$((failures + 1))
+    note "sweep.py" FAIL "$rc"
+  fi
+  ran=$((ran + 1))
 fi
 
 if [ "$BENCH_SET" != "sweep" ]; then

@@ -115,6 +115,11 @@ struct DispatchContext {
   ThreadPool* pool = nullptr;
   /// Open requests in release order.
   std::vector<const Request*> pending;
+  /// Streaming service mode only (DESIGN.md §13): wall-clock seconds (run
+  /// epoch) at which the ingestion thread pushed each pending request,
+  /// parallel to `pending`. Dispatchers may consult it for latency-aware
+  /// ordering; empty in replay mode and in hand-built contexts.
+  std::vector<double> pending_ingest_wall;
   /// True when this invocation was triggered by a single request-release
   /// event (the scenario-enabled online dispatch mode) rather than a batch
   /// tick. Batch methods may treat per-event rounds like tiny batches.

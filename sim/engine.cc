@@ -1,11 +1,13 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <numeric>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,7 +15,9 @@
 #include "roadnet/travel_cost.h"
 #include "sim/event_queue.h"
 #include "util/alloc_gate.h"
+#include "util/latency_histogram.h"
 #include "util/logging.h"
+#include "util/spsc_ring.h"
 #include "util/thread_pool.h"
 
 namespace structride {
@@ -247,6 +251,18 @@ class SimulationEngine::EventRun : public ScenarioHost {
   void HandleRelease(size_t idx);
   void HandleStopEvent(size_t vi, int64_t epoch);
   void DispatchRound(bool online);
+  // Streaming service mode (DESIGN.md §13). None of this runs — and none
+  // of the state below is constructed — unless options_.service_mode.
+  void SetupServiceMode(const std::vector<size_t>& order);
+  void ProducerLoop();
+  void DrainIngest();
+  /// Wall seconds since the run epoch (set just before the producer starts).
+  double WallNow() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_epoch_)
+        .count();
+  }
+  void SleepUntilWall(double target) const;
   /// The travel-cost oracle a shard dispatches against: its private cache
   /// partition under geo-sharding, the root engine at 1 shard (preserving
   /// the bitwise 1-shard gate).
@@ -336,6 +352,40 @@ class SimulationEngine::EventRun : public ScenarioHost {
   /// Member-plane fingerprints snapshotted before the batch phase and
   /// SR_CHECKed unchanged after it (see MemberPlaneFingerprint).
   std::vector<uint64_t> member_fingerprints_;
+
+  // -- Streaming service mode (DESIGN.md §13) -------------------------------
+  /// One ring slot: the request index the producer admitted plus the wall
+  /// stamp taken at the push — the start of the ingest→decision latency.
+  struct IngestRecord {
+    uint32_t idx = 0;
+    double wall = 0;
+  };
+  bool service_ = false;
+  /// The virtual-time pacer: virtual seconds per wall second while arrivals
+  /// are live. Batch ticks (and every other event) wait for wall time
+  /// event.time / time_scale_; once the stream is exhausted and drained the
+  /// run free-runs to termination.
+  double time_scale_ = 1;
+  bool free_running_ = false;
+  std::chrono::steady_clock::time_point wall_epoch_;
+  std::unique_ptr<SpscRing<IngestRecord>> ring_;
+  std::thread producer_;
+  std::atomic<bool> producer_done_{false};
+  /// The producer's precomputed open-loop schedule: arrival k pushes
+  /// request index arrival_idx_[k] at wall second arrival_wall_[k]. Frozen
+  /// before the thread starts; the producer reads nothing else of the run.
+  std::vector<double> arrival_wall_;
+  std::vector<uint32_t> arrival_idx_;
+  /// Producer-owned overflow log (read by the consumer only after join).
+  std::vector<uint32_t> shed_;
+  std::atomic<uint64_t> producer_depth_max_{0};
+  uint64_t consumer_depth_max_ = 0;
+  /// Wall stamp each drained request carried through the ring.
+  std::vector<double> ingest_wall_;
+  /// Requests first presented to a dispatcher this round; their
+  /// ingest→decision latency is recorded when the round's commit finishes.
+  std::vector<size_t> round_new_;
+  LatencyHistogram latency_hist_;
 
   double now_ = 0;
   double tick_time_ = 0;
@@ -442,9 +492,16 @@ RunMetrics SimulationEngine::EventRun::Execute() {
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return requests_[a].release_time < requests_[b].release_time;
   });
-  for (size_t idx : order) {
-    queue_.Push({requests_[idx].release_time, EventType::kRequestRelease,
-                 static_cast<int64_t>(idx), 0});
+  service_ = options_.service_mode;
+  if (service_) {
+    // Service mode: releases arrive through the ingestion ring instead of
+    // the pre-scheduled queue — the stream leaves the EventQueue entirely.
+    SetupServiceMode(order);
+  } else {
+    for (size_t idx : order) {
+      queue_.Push({requests_[idx].release_time, EventType::kRequestRelease,
+                   static_cast<int64_t>(idx), 0});
+    }
   }
 
   // Batch ticks accumulate exactly like the legacy `now += period` loop so
@@ -455,6 +512,18 @@ RunMetrics SimulationEngine::EventRun::Execute() {
 
   while (!done_ && !queue_.empty()) {
     Event e = queue_.Pop();
+    if (service_ && !free_running_) {
+      // The virtual-time pacer: no event fires before its wall deadline
+      // while arrivals are still live. Once the producer is done, the ring
+      // drained and nothing is open, the tail (in-flight trips completing)
+      // free-runs — there is no arrival left for it to race.
+      if (producer_done_.load(std::memory_order_acquire) &&
+          ring_->SizeApprox() == 0 && open_count_ == 0) {
+        free_running_ = true;
+      } else {
+        SleepUntilWall(e.time / time_scale_);
+      }
+    }
     now_ = e.time;
     switch (e.type) {
       case EventType::kRequestRelease:
@@ -472,10 +541,18 @@ RunMetrics SimulationEngine::EventRun::Execute() {
         current_scenario_ = -1;
         break;
       case EventType::kBatchTick:
+        // Service mode drains the ring right at the batch boundary: every
+        // arrival admitted by now joins this round's pending pool.
+        if (service_) DrainIngest();
         DispatchRound(/*online=*/false);
         // The legacy termination condition, evaluated after the round:
-        // stream exhausted, nothing open, fleet idle.
-        if (released_ >= n && open_count_ == 0 && AllVehiclesIdle()) {
+        // stream exhausted, nothing open, fleet idle. In service mode the
+        // stream is exhausted when the producer finished and the ring is
+        // empty — shed arrivals never release, so released_ can't reach n.
+        if ((service_ ? (producer_done_.load(std::memory_order_acquire) &&
+                         ring_->SizeApprox() == 0)
+                      : released_ >= n) &&
+            open_count_ == 0 && AllVehiclesIdle()) {
           done_ = true;
         } else {
           tick_time_ += period;
@@ -496,6 +573,7 @@ RunMetrics SimulationEngine::EventRun::Execute() {
         break;
     }
   }
+  if (producer_.joinable()) producer_.join();
   // Finish any in-flight reposition legs: the policy committed to the move,
   // so its deadhead cost is charged even though the run is over. Committed
   // stops cannot remain here (termination requires an idle fleet).
@@ -505,6 +583,99 @@ RunMetrics SimulationEngine::EventRun::Execute() {
     });
   }
   return Finalize();
+}
+
+void SimulationEngine::EventRun::SetupServiceMode(
+    const std::vector<size_t>& order) {
+  SR_CHECK(options_.service_qps > 0);
+  const size_t n = order.size();
+  ring_ = std::make_unique<SpscRing<IngestRecord>>(
+      std::max<size_t>(1, options_.service_queue_capacity));
+  ingest_wall_.assign(requests_.size(), 0);
+
+  // The virtual-time scale. By default it maps the stream's virtual span
+  // onto the wall time the target rate needs for n arrivals, so the demand
+  // density per batch is qps-invariant and only the wall budget per round
+  // shrinks as qps grows — which is what makes "sustainable" monotone in
+  // qps and the bench's binary search valid.
+  double span_v = options_.batch_period > 0 ? options_.batch_period : 1;
+  if (n > 1) {
+    span_v = std::max(span_v, requests_[order.back()].release_time -
+                                  requests_[order.front()].release_time);
+  }
+  time_scale_ = options_.service_time_scale > 0
+                    ? options_.service_time_scale
+                    : options_.service_qps * span_v / std::max<size_t>(1, n);
+  SR_CHECK(time_scale_ > 0);
+
+  // Freeze the producer's open-loop schedule before the thread exists:
+  // generator-driven is uniform 1/qps spacing; trace-driven rescales the
+  // stream's own inter-arrival gaps through the virtual clock. Either way
+  // the arrival *order* is the stream order, so drained releases reproduce
+  // the replay engine's pending order round by round.
+  arrival_wall_.resize(n);
+  arrival_idx_.resize(n);
+  const double first_v = n > 0 ? requests_[order.front()].release_time : 0;
+  for (size_t k = 0; k < n; ++k) {
+    arrival_idx_[k] = static_cast<uint32_t>(order[k]);
+    arrival_wall_[k] =
+        options_.service_trace_arrivals
+            ? (requests_[order[k]].release_time - first_v) / time_scale_
+            : static_cast<double>(k) / options_.service_qps;
+  }
+  shed_.clear();
+  latency_hist_.Reset();
+  wall_epoch_ = std::chrono::steady_clock::now();
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+void SimulationEngine::EventRun::ProducerLoop() {
+  // Open loop: each arrival fires at its precomputed wall time no matter
+  // what the dispatcher is doing; a full ring rejects it (shed), it never
+  // waits. The thread reads only its frozen schedule, the ring, and the
+  // wall clock — nothing the consumer mutates.
+  uint64_t depth_max = 0;
+  for (size_t k = 0; k < arrival_wall_.size(); ++k) {
+    SleepUntilWall(arrival_wall_[k]);
+    if (ring_->TryPush({arrival_idx_[k], WallNow()})) {
+      depth_max = std::max<uint64_t>(depth_max, ring_->SizeApprox());
+    } else {
+      shed_.push_back(arrival_idx_[k]);
+    }
+  }
+  producer_depth_max_.store(depth_max, std::memory_order_relaxed);
+  producer_done_.store(true, std::memory_order_release);
+}
+
+void SimulationEngine::EventRun::DrainIngest() {
+  consumer_depth_max_ =
+      std::max<uint64_t>(consumer_depth_max_, ring_->SizeApprox());
+  IngestRecord rec;
+  while (ring_->TryPop(&rec)) {
+    const size_t idx = rec.idx;
+    // The arrival lands *now* in virtual time: shift the request's window
+    // slack-preservingly onto its actual release, exactly like scenario
+    // retiming, so deadlines mean the same thing at any qps.
+    Request& r = requests_[idx];
+    const double delta = now_ - r.release_time;
+    r.release_time = now_;
+    r.deadline += delta;
+    r.latest_pickup += delta;
+    ingest_wall_[idx] = rec.wall;
+    OpenRequest(idx);
+  }
+}
+
+void SimulationEngine::EventRun::SleepUntilWall(double target) const {
+  for (;;) {
+    const double remain = target - WallNow();
+    if (remain <= 0) return;
+    if (remain > 2e-4) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(remain - 1e-4));
+    } else {
+      std::this_thread::yield();
+    }
+  }
 }
 
 void SimulationEngine::EventRun::OpenRequest(size_t idx) {
@@ -590,8 +761,12 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
   // classification stays global: the guarantee covers the whole round
   // across every shard, so the sample below sums the per-shard deltas.
   bool steady = !pending_.empty();
+  round_new_.clear();
   for (size_t idx : pending_) {
-    if (!dispatched_[idx]) steady = false;
+    if (!dispatched_[idx]) {
+      steady = false;
+      if (service_) round_new_.push_back(idx);
+    }
     dispatched_[idx] = 1;
   }
 
@@ -652,6 +827,17 @@ void SimulationEngine::EventRun::DispatchRound(bool online) {
   for (std::unique_ptr<ShardRuntime>& shp : shards_) CommitShardOutputs(*shp);
   if (steady) steady_alloc_samples_.push_back(round_allocs);
 
+  // Ingest→decision latency: from the producer's push stamp to the end of
+  // the first dispatch round that presented the request — the rider-visible
+  // "how long until the platform decided about me" figure, recorded once
+  // per request at its first round regardless of the decision.
+  if (service_ && !round_new_.empty()) {
+    const double wall = WallNow();
+    for (size_t idx : round_new_) {
+      latency_hist_.Record((wall - ingest_wall_[idx]) * 1e3);
+    }
+  }
+
   if (!round_moves_.empty()) ApplyRepositions(round_moves_);
   if (owner_->repositioning_ != nullptr) {
     std::vector<const Request*> open;
@@ -697,9 +883,11 @@ void SimulationEngine::EventRun::RunShardBatch(ShardRuntime& sh, bool online) {
   ctx.repositions.clear();
   ctx.pending.clear();
   ctx.pending.reserve(pending_.size());
+  ctx.pending_ingest_wall.clear();
   for (size_t idx : pending_) {
     if (num_shards_ > 1 && request_shard_[idx] != sh.id) continue;
     ctx.pending.push_back(&requests_[idx]);
+    if (service_) ctx.pending_ingest_wall.push_back(ingest_wall_[idx]);
   }
   if (config_.soa_pools) {
     sh.arena.Reset();
@@ -1010,12 +1198,24 @@ RunMetrics SimulationEngine::EventRun::Finalize() {
   if (num_shards_ > 1) {
     // Final census: every request reached exactly one terminal outcome.
     // Committed riders all completed (termination drains the fleet), so
-    // served + late covers the assigned.
+    // served + late covers the assigned. Shed arrivals never released —
+    // they are the only way a request stays kUnreleased to the end.
     SR_CHECK(static_cast<size_t>(served_) + static_cast<size_t>(cancelled_) +
                  static_cast<size_t>(expired_) +
                  static_cast<size_t>(rejected_) +
-                 static_cast<size_t>(late_dropoffs_) ==
+                 static_cast<size_t>(late_dropoffs_) + shed_.size() ==
              n);
+  }
+  if (service_) {
+    metrics.shed_requests = shed_.size();
+    metrics.ingest_queue_depth_max =
+        std::max(consumer_depth_max_,
+                 producer_depth_max_.load(std::memory_order_relaxed));
+    if (latency_hist_.count() > 0) {
+      metrics.dispatch_latency_p50_ms = latency_hist_.Quantile(0.50);
+      metrics.dispatch_latency_p99_ms = latency_hist_.Quantile(0.99);
+      metrics.dispatch_latency_p999_ms = latency_hist_.Quantile(0.999);
+    }
   }
   if (!steady_alloc_samples_.empty()) {
     std::vector<uint64_t> sorted = steady_alloc_samples_;

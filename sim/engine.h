@@ -52,6 +52,33 @@ struct SimulationOptions {
   /// with this probability, leaving if unassigned after Exp(patience).
   double cancellation_rate = 0;
   double cancellation_patience = 60;
+
+  // Streaming service mode (DESIGN.md §13). When on, request releases are
+  // no longer replayed from the pre-scheduled EventQueue: a dedicated
+  // ingestion thread paces arrivals at `service_qps` wall-clock requests
+  // per second (open loop — arrivals never wait for the dispatcher) into a
+  // bounded lock-free SPSC ring that the event core drains at every batch
+  // boundary. Batch ticks are paced against the wall clock through the
+  // virtual-time scale below, so overload is observable: rounds that
+  // outrun their wall budget fire late, the ring backs up, and pushes into
+  // a full ring are rejected (admission control) and counted as
+  // RunMetrics::shed_requests. `false` (the default) is bitwise identical
+  // to the replay engine — none of this machinery is constructed.
+  bool service_mode = false;
+  /// Target offered arrival rate, wall-clock requests/second (> 0).
+  double service_qps = 1000;
+  /// SPSC ring capacity (rounded up to a power of two): the admission-
+  /// control bound on queued-but-undrained arrivals.
+  size_t service_queue_capacity = 4096;
+  /// Pace arrivals by the stream's own (scaled) inter-arrival gaps instead
+  /// of uniform 1/qps spacing — trace-driven rather than generator-driven;
+  /// the aggregate rate is `service_qps` either way.
+  bool service_trace_arrivals = false;
+  /// Virtual seconds that elapse per wall second while arrivals are live
+  /// (0 = derive from service_qps so the stream's demand density maps onto
+  /// the target rate: qps * virtual_span / num_requests). Once the stream
+  /// is exhausted and drained, the tail of the run free-runs.
+  double service_time_scale = 0;
 };
 
 /// What happened to an unassigned rider by batch time \p now. When a rider
@@ -132,6 +159,25 @@ struct RunMetrics {
   /// Peak bytes retained across every EpochArena in the process (chunks
   /// stay warm over Reset); process-wide high-water mark, not per-run.
   size_t arena_peak_bytes = 0;
+  // Streaming service mode (DESIGN.md §13); all zero in replay mode so
+  // existing compare_bench baselines stay parseable. Wall-clock derived, so
+  // none of these participate in any bitwise parity contract.
+  /// Ingest→decision latency quantiles in milliseconds: from the ingestion
+  /// thread's push to the end of the first dispatch round that presented
+  /// the request, over every request that reached a round.
+  double dispatch_latency_p50_ms = 0;
+  double dispatch_latency_p99_ms = 0;
+  double dispatch_latency_p999_ms = 0;
+  /// Filled by sustained-qps benches (bench/svc_sustained_qps.cc): one run
+  /// probes a single rate, so the engine always reports 0 here.
+  double max_sustained_qps = 0;
+  /// Arrivals rejected because the ingestion ring was full — the admission-
+  /// control overflow. Shed requests never release; they count as unserved
+  /// (penalty applies), like riders the platform turned away at the door.
+  uint64_t shed_requests = 0;
+  /// Deepest the ingestion ring ever got (sampled at every push and at
+  /// every batch-boundary drain).
+  uint64_t ingest_queue_depth_max = 0;
 };
 
 class SimulationEngine {

@@ -1,0 +1,124 @@
+// A fixed-size, allocation-free, log-bucketed histogram for latency samples
+// (DESIGN.md §13). Buckets are base-2 octaves split into 16 linear
+// sub-buckets each (frexp exponent + 4 mantissa bits), so every bucket's
+// width is at most 6.25% of its value and any quantile read back is within
+// ~3.2% relative error of the exact sample quantile — tight enough for SLO
+// gating without storing samples. Recording is two array writes; histograms
+// from different threads merge by summing counters, and merging is
+// associative and commutative by construction.
+//
+// Units are the caller's: the histogram bucketizes positive doubles
+// covering ~1e-9 .. 1e9 of whatever unit goes in (the service mode records
+// milliseconds). Non-positive and sub-range samples clamp into the edge
+// buckets; the exact running min/max are kept so the extremes stay honest.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace structride {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;  ///< 16 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// frexp exponents covered: [kMinExp, kMaxExp] spans ~1e-9 .. ~1e9.
+  static constexpr int kMinExp = -29;
+  static constexpr int kMaxExp = 30;
+  static constexpr int kNumBuckets = (kMaxExp - kMinExp + 1) * kSubBuckets;
+
+  LatencyHistogram() { Reset(); }
+
+  void Reset() {
+    for (uint64_t& c : counts_) c = 0;
+    count_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = 0;
+  }
+
+  /// Records one sample. Never allocates.
+  void Record(double value) {
+    ++counts_[BucketOf(value)];
+    ++count_;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Folds \p other into this histogram (per-bucket sum). (a+b)+c and
+  /// a+(b+c) produce identical counters.
+  void Merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  /// Exact extremes over the recorded samples (0 / 0 when empty).
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Nearest-rank quantile (\p q in [0, 1]): the geometric midpoint of the
+  /// bucket holding the rank-ceil(q*count) sample, clamped to the exact
+  /// [min, max] observed. 0 when empty.
+  double Quantile(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    if (rank > count_) rank = count_;
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) {
+        return std::min(std::max(BucketMid(b), min_), max_);
+      }
+    }
+    return max_;  // unreachable: seen reaches count_ on the last bucket
+  }
+
+  uint64_t bucket_count(int b) const { return counts_[b]; }
+
+  /// The bucket a sample lands in — exposed for the boundary tests.
+  static int BucketOf(double value) {
+    if (!(value > 0) || std::isinf(value) || std::isnan(value)) {
+      return value > 0 ? kNumBuckets - 1 : 0;  // +inf clamps high, rest low
+    }
+    int exp = 0;
+    const double mantissa = std::frexp(value, &exp);  // in [0.5, 1)
+    if (exp < kMinExp) return 0;
+    if (exp > kMaxExp) return kNumBuckets - 1;
+    // Mantissa in [0.5, 1) maps linearly onto the octave's 16 sub-buckets.
+    int sub = static_cast<int>((mantissa - 0.5) * 2 * kSubBuckets);
+    if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+    return (exp - kMinExp) * kSubBuckets + sub;
+  }
+
+  /// [lower, upper) value range of bucket \p b.
+  static double BucketLower(int b) {
+    const int exp = b / kSubBuckets + kMinExp;
+    const int sub = b % kSubBuckets;
+    return std::ldexp(0.5 + static_cast<double>(sub) / (2 * kSubBuckets), exp);
+  }
+  static double BucketUpper(int b) {
+    const int exp = b / kSubBuckets + kMinExp;
+    const int sub = b % kSubBuckets;
+    return std::ldexp(0.5 + static_cast<double>(sub + 1) / (2 * kSubBuckets),
+                      exp);
+  }
+
+ private:
+  static double BucketMid(int b) {
+    return std::sqrt(BucketLower(b) * BucketUpper(b));
+  }
+
+  uint64_t counts_[kNumBuckets];
+  uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = 0;
+};
+
+}  // namespace structride

@@ -1,0 +1,98 @@
+// A bounded, lock-free single-producer/single-consumer ring — the ingestion
+// path of the streaming service mode (DESIGN.md §13). The producer (the
+// ingestion thread pacing arrivals at a target qps) and the consumer (the
+// event core, draining at batch boundaries) each touch exactly one atomic
+// index of the other side, so neither ever blocks and a full ring simply
+// rejects the push — that rejection *is* the admission-control bound, and
+// the caller counts it as a shed request.
+//
+// Implementation notes:
+//  - Monotonic 64-bit push/pop counters (slot = counter & mask) instead of
+//    the classic one-slot-wasted head/tail ring, so every capacity works —
+//    including capacity 1 — and full/empty are unambiguous
+//    (push - pop == capacity / push == pop).
+//  - Each side keeps a cached copy of the other side's counter and only
+//    re-reads the shared atomic when the cached value says full/empty, so
+//    the steady-state push and pop are one relaxed load + one release store
+//    each (the classic Rigtorp/folly SPSC refinement).
+//  - Capacity is rounded up to a power of two at construction; the slot
+//    array never reallocates afterwards, so the hot path is allocation-free.
+//  - Strictly SPSC: one pushing thread, one popping thread. SizeApprox()
+//    may be read from either side (or a third thread) and is exact when
+//    read by the producer or consumer between their own operations.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace structride {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// \p capacity is rounded up to the next power of two (>= 1).
+  explicit SpscRing(size_t capacity) {
+    SR_CHECK(capacity > 0);
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (and leaves the ring untouched) when the
+  /// ring is full — the admission-control rejection.
+  bool TryPush(const T& value) {
+    const uint64_t push = push_.load(std::memory_order_relaxed);
+    if (push - cached_pop_ == slots_.size()) {
+      cached_pop_ = pop_.load(std::memory_order_acquire);
+      if (push - cached_pop_ == slots_.size()) return false;  // truly full
+    }
+    slots_[static_cast<size_t>(push) & mask_] = value;
+    push_.store(push + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t pop = pop_.load(std::memory_order_relaxed);
+    if (pop == cached_push_) {
+      cached_push_ = push_.load(std::memory_order_acquire);
+      if (pop == cached_push_) return false;  // truly empty
+    }
+    *out = slots_[static_cast<size_t>(pop) & mask_];
+    pop_.store(pop + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Entries currently queued. Exact from the producer or consumer thread
+  /// (between that side's own operations); a racing snapshot otherwise.
+  size_t SizeApprox() const {
+    const uint64_t push = push_.load(std::memory_order_acquire);
+    const uint64_t pop = pop_.load(std::memory_order_acquire);
+    return push >= pop ? static_cast<size_t>(push - pop) : 0;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+  size_t MemoryBytes() const { return slots_.capacity() * sizeof(T); }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Producer-owned line: its counter plus its cache of the consumer's.
+  alignas(64) std::atomic<uint64_t> push_{0};
+  uint64_t cached_pop_ = 0;
+  // Consumer-owned line.
+  alignas(64) std::atomic<uint64_t> pop_{0};
+  uint64_t cached_push_ = 0;
+};
+
+}  // namespace structride
