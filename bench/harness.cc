@@ -337,13 +337,18 @@ BenchContext::BenchContext(const std::string& dataset, double scale)
     : spec_(DatasetByName(dataset, scale)) {
   // DatasetByName already scaled the request count, fleet size and arrival
   // window (exactly once — see sim/datasets.h); nothing to rescale here.
-  net_ = BuildNetwork(&spec_);
+  graph_ = BuildGraph(&spec_);
   TravelCostOptions topts;
   topts.backend = BenchSpBackend();
-  engine_ = std::make_unique<TravelCostEngine>(net_, topts);
+  // Snapshot-loaded indices ride along in the bundle; adopt them so a
+  // preprocessed graph never rebuilds what the file already carries.
+  topts.prebuilt_hub_labels = graph_.hub_labels.get();
+  topts.prebuilt_ch = graph_.ch.get();
+  engine_ = std::make_unique<TravelCostEngine>(graph_.network, topts);
   std::fprintf(stderr, "[bench] %s: %zu nodes, %zu edges, %d requests, %d vehicles\n",
-               spec_.name.c_str(), net_.num_nodes(), net_.num_edges(),
-               spec_.workload.num_requests, spec_.num_vehicles);
+               spec_.name.c_str(), graph_.network.num_nodes(),
+               graph_.network.num_edges(), spec_.workload.num_requests,
+               spec_.num_vehicles);
 }
 
 void BenchContext::EnsureStream(double gamma, int num_requests) {
@@ -352,7 +357,7 @@ void BenchContext::EnsureStream(double gamma, int num_requests) {
   policy.gamma = gamma;
   WorkloadOptions wopts = spec_.workload;
   wopts.num_requests = num_requests;
-  requests_ = GenerateWorkload(net_, engine_.get(), policy, wopts);
+  requests_ = GenerateWorkload(graph_.network, engine_.get(), policy, wopts);
   stream_gamma_ = gamma;
   stream_requests_ = num_requests;
 }

@@ -46,14 +46,17 @@ class BenchContext {
   RunMetrics Run(const std::string& algorithm, const PointParams& params);
 
   const DatasetSpec& spec() const { return spec_; }
-  const RoadNetwork& network() const { return net_; }
+  const RoadNetwork& network() const { return graph_.network; }
+  const GraphBundle& graph() const { return graph_; }
   TravelCostEngine* engine() { return engine_.get(); }
 
  private:
   void EnsureStream(double gamma, int num_requests);
 
   DatasetSpec spec_;
-  RoadNetwork net_;
+  /// Network plus any snapshot-loaded indices; the engine adopts the latter
+  /// through TravelCostOptions::prebuilt_* instead of rebuilding.
+  GraphBundle graph_;
   std::unique_ptr<TravelCostEngine> engine_;
   std::vector<Request> requests_;
   double stream_gamma_ = -1;

@@ -21,6 +21,9 @@
 #   STRUCTRIDE_SVC_DATASETS / STRUCTRIDE_SVC_SHARDS  the sustained-qps
 #                         service bench's grid (smoke defaults: NYC, 1);
 #                         SLO via STRUCTRIDE_SLO_P99_MS (default 250 ms)
+#   STRUCTRIDE_SNAPSHOT_PATH  where abl_graph_import writes/reuses its
+#                         binary graph snapshot (default: inside the json
+#                         dir, so the smoke never dirties the source tree)
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -47,6 +50,8 @@ if [ ! -d "$BUILD_DIR" ]; then
   exit 2
 fi
 mkdir -p "$STRUCTRIDE_JSON_DIR"
+# Keep the import ablation's snapshot out of tests/data/ by default.
+export STRUCTRIDE_SNAPSHOT_PATH="${STRUCTRIDE_SNAPSHOT_PATH:-$STRUCTRIDE_JSON_DIR/graph.snap}"
 
 SWEEP_BENCHES="
 fig8_vary_vehicles fig9_vary_requests fig10_vary_deadline
@@ -56,6 +61,7 @@ table5_angle_pruning_cainiao table6_angle_pruning
 abl_cancellations abl_incremental_sharegraph abl_parallel_scaling
 abl_scenarios abl_proposal_order abl_sharding
 abl_angle_expectation abl_insertion_order abl_structure_metrics
+abl_graph_import
 "
 MICRO_BENCHES="
 micro_insertion micro_shortest_path micro_grouping

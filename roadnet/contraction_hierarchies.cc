@@ -175,6 +175,25 @@ ContractionHierarchies::ContractionHierarchies(const RoadNetwork& net) {
     up_offsets_[u + 1] = static_cast<uint32_t>(up_arcs_.size());
   }
   up_arcs_.shrink_to_fit();
+  up_offsets_view_ = {up_offsets_.data(), up_offsets_.size()};
+  up_arcs_view_ = {up_arcs_.data(), up_arcs_.size()};
+  rank_view_ = {rank_.data(), rank_.size()};
+}
+
+std::unique_ptr<ContractionHierarchies>
+ContractionHierarchies::FromFrozenSections(Span<const uint32_t> up_offsets,
+                                           Span<const Arc> up_arcs,
+                                           Span<const int32_t> ranks,
+                                           size_t num_shortcuts,
+                                           std::shared_ptr<const void> payload) {
+  auto ch = std::unique_ptr<ContractionHierarchies>(
+      new ContractionHierarchies());
+  ch->up_offsets_view_ = up_offsets;
+  ch->up_arcs_view_ = up_arcs;
+  ch->rank_view_ = ranks;
+  ch->num_shortcuts_ = num_shortcuts;
+  ch->payload_ = std::move(payload);
+  return ch;
 }
 
 double ContractionHierarchies::Query(NodeId s, NodeId t) const {
@@ -218,9 +237,15 @@ double ContractionHierarchies::Query(NodeId s, NodeId t) const {
 }
 
 size_t ContractionHierarchies::MemoryBytes() const {
-  return rank_.capacity() * sizeof(int32_t) +
-         up_offsets_.capacity() * sizeof(uint32_t) +
-         up_arcs_.capacity() * sizeof(Arc);
+  size_t bytes = rank_.capacity() * sizeof(int32_t) +
+                 up_offsets_.capacity() * sizeof(uint32_t) +
+                 up_arcs_.capacity() * sizeof(Arc);
+  if (payload_ != nullptr) {
+    bytes += rank_view_.size() * sizeof(int32_t) +
+             up_offsets_view_.size() * sizeof(uint32_t) +
+             up_arcs_view_.size() * sizeof(Arc);
+  }
+  return bytes;
 }
 
 }  // namespace structride

@@ -6,11 +6,17 @@
 // Memory layout (DESIGN.md §"Memory layout"): the upward arcs live in one
 // contiguous buffer with a CSR offset array (same shape as the frozen
 // RoadNetwork), so the query's relax loop walks a flat span per node.
+//
+// Ownership (DESIGN.md §"Graph import and persistence"): queries read the
+// upward CSR through borrowed views. A built hierarchy owns the buffers; a
+// snapshot-loaded one borrows them from the (possibly mmap-ed) section
+// payloads and keeps the backing GraphSource alive via payload_.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "roadnet/road_network.h"
@@ -19,30 +25,52 @@ namespace structride {
 
 class ContractionHierarchies {
  public:
-  explicit ContractionHierarchies(const RoadNetwork& net);
-
-  /// Exact shortest-path cost (infinity if disconnected).
-  double Query(NodeId s, NodeId t) const;
-
-  size_t num_shortcuts() const { return num_shortcuts_; }
-  size_t MemoryBytes() const;
-
- private:
   struct Arc {
     NodeId to;
     double cost;
   };
 
+  explicit ContractionHierarchies(const RoadNetwork& net);
+
+  /// Adopts an already-built upward CSR owned elsewhere (a loaded
+  /// snapshot); \p payload keeps the backing storage alive. The snapshot
+  /// loader validates the CSR invariants before calling this.
+  static std::unique_ptr<ContractionHierarchies> FromFrozenSections(
+      Span<const uint32_t> up_offsets, Span<const Arc> up_arcs,
+      Span<const int32_t> ranks, size_t num_shortcuts,
+      std::shared_ptr<const void> payload);
+
+  /// Exact shortest-path cost (infinity if disconnected).
+  double Query(NodeId s, NodeId t) const;
+
+  size_t num_shortcuts() const { return num_shortcuts_; }
+
+  // Section views for serialization (roadnet/snapshot.cc).
+  Span<const uint32_t> up_offsets() const { return up_offsets_view_; }
+  Span<const Arc> up_arcs() const { return up_arcs_view_; }
+  Span<const int32_t> node_ranks() const { return rank_view_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  ContractionHierarchies() = default;
+
   Span<const Arc> UpArcs(NodeId v) const {
     const size_t u = static_cast<size_t>(v);
-    return {up_arcs_.data() + up_offsets_[u],
-            up_offsets_[u + 1] - up_offsets_[u]};
+    return {up_arcs_view_.data() + up_offsets_view_[u],
+            up_offsets_view_[u + 1] - up_offsets_view_[u]};
   }
 
   // Upward arcs only (to strictly higher-ranked neighbors), flattened CSR.
+  // Vectors hold the owned (built) buffers; the views are what queries read
+  // and point either at the vectors or at borrowed snapshot sections.
   std::vector<uint32_t> up_offsets_;  ///< size n + 1
   std::vector<Arc> up_arcs_;
   std::vector<int32_t> rank_;
+  Span<const uint32_t> up_offsets_view_;
+  Span<const Arc> up_arcs_view_;
+  Span<const int32_t> rank_view_;
+  std::shared_ptr<const void> payload_;  ///< keeps borrowed sections alive
   size_t num_shortcuts_ = 0;
 };
 

@@ -174,14 +174,32 @@ HubLabeling::HubLabeling(const RoadNetwork& net) {
     ranks_.push_back(kSentinelRank);
     dists_.push_back(kInf);
   }
+  ranks_view_ = {ranks_.data(), ranks_.size()};
+  dists_view_ = {dists_.data(), dists_.size()};
+  offsets_view_ = {offsets_.data(), offsets_.size()};
+}
+
+std::unique_ptr<HubLabeling> HubLabeling::FromFrozenSections(
+    Span<const uint32_t> offsets, Span<const int32_t> ranks,
+    Span<const double> dists, size_t total_entries,
+    std::shared_ptr<const void> payload) {
+  SR_CHECK(ranks.size() == dists.size());
+  auto hl = std::unique_ptr<HubLabeling>(new HubLabeling());
+  hl->offsets_view_ = offsets;
+  hl->ranks_view_ = ranks;
+  hl->dists_view_ = dists;
+  hl->total_entries_ = total_entries;
+  hl->num_nodes_ = offsets.size();
+  hl->payload_ = std::move(payload);
+  return hl;
 }
 
 double HubLabeling::Query(NodeId s, NodeId t) const {
   if (s == t) return 0;
-  const int32_t* R = ranks_.data();
-  const double* D = dists_.data();
-  size_t i = offsets_[static_cast<size_t>(s)];
-  size_t j = offsets_[static_cast<size_t>(t)];
+  const int32_t* R = ranks_view_.data();
+  const double* D = dists_view_.data();
+  size_t i = offsets_view_[static_cast<size_t>(s)];
+  size_t j = offsets_view_[static_cast<size_t>(t)];
   double best = kInf;
   // Sentinel-terminated merge join: both runs end on kSentinelRank, so the
   // loop exits on the equality branch and the index advances compile to
@@ -204,9 +222,9 @@ double HubLabeling::Query(NodeId s, NodeId t) const {
 }
 
 void HubLabeling::PinSource(NodeId s, double* scratch) const {
-  for (size_t k = offsets_[static_cast<size_t>(s)];
-       ranks_[k] != kSentinelRank; ++k) {
-    scratch[ranks_[k]] = dists_[k];
+  for (size_t k = offsets_view_[static_cast<size_t>(s)];
+       ranks_view_[k] != kSentinelRank; ++k) {
+    scratch[ranks_view_[k]] = dists_view_[k];
   }
 }
 
@@ -215,25 +233,31 @@ double HubLabeling::QueryPinned(const double* scratch, NodeId t) const {
   // min over the pinned source's hubs ∩ t's hubs: a rank the source does not
   // label contributes +inf and never wins, so one pass over t's run suffices
   // and the result is identical to the two-pointer merge in Query.
-  for (size_t k = offsets_[static_cast<size_t>(t)];
-       ranks_[k] != kSentinelRank; ++k) {
-    const double d = scratch[ranks_[k]] + dists_[k];
+  for (size_t k = offsets_view_[static_cast<size_t>(t)];
+       ranks_view_[k] != kSentinelRank; ++k) {
+    const double d = scratch[ranks_view_[k]] + dists_view_[k];
     if (d < best) best = d;
   }
   return best;
 }
 
 void HubLabeling::UnpinSource(NodeId s, double* scratch) const {
-  for (size_t k = offsets_[static_cast<size_t>(s)];
-       ranks_[k] != kSentinelRank; ++k) {
-    scratch[ranks_[k]] = kInf;
+  for (size_t k = offsets_view_[static_cast<size_t>(s)];
+       ranks_view_[k] != kSentinelRank; ++k) {
+    scratch[ranks_view_[k]] = kInf;
   }
 }
 
 size_t HubLabeling::MemoryBytes() const {
-  return ranks_.capacity() * sizeof(int32_t) +
-         dists_.capacity() * sizeof(double) +
-         offsets_.capacity() * sizeof(uint32_t);
+  size_t bytes = ranks_.capacity() * sizeof(int32_t) +
+                 dists_.capacity() * sizeof(double) +
+                 offsets_.capacity() * sizeof(uint32_t);
+  if (payload_ != nullptr) {
+    bytes += ranks_view_.size() * sizeof(int32_t) +
+             dists_view_.size() * sizeof(double) +
+             offsets_view_.size() * sizeof(uint32_t);
+  }
+  return bytes;
 }
 
 }  // namespace structride

@@ -14,11 +14,17 @@
 // bound checks. The pinned-source API spreads one node's label into a
 // rank-indexed scratch array so one-to-many batches
 // (TravelCostEngine::CostMany) pay the source's label walk once.
+//
+// Ownership (DESIGN.md §"Graph import and persistence"): queries read the
+// arena through borrowed views. A built labeling owns the planes; a
+// snapshot-loaded one borrows them from the (possibly mmap-ed) section
+// payloads and keeps the backing GraphSource alive via payload_.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "roadnet/road_network.h"
@@ -28,6 +34,20 @@ namespace structride {
 class HubLabeling {
  public:
   explicit HubLabeling(const RoadNetwork& net);
+
+  /// Terminates every node's label run; compares greater than any real rank.
+  static constexpr int32_t kSentinelRank = INT32_MAX;
+
+  /// Adopts an already-flattened node-major arena owned elsewhere (a loaded
+  /// snapshot): \p offsets holds one run start per node, \p ranks / \p dists
+  /// are the sentinel-terminated parallel planes, and \p payload keeps the
+  /// backing storage alive. The snapshot loader validates the arena
+  /// invariants (runs in range, ranks in [0, n) or sentinel, final sentinel
+  /// present) before calling this.
+  static std::unique_ptr<HubLabeling> FromFrozenSections(
+      Span<const uint32_t> offsets, Span<const int32_t> ranks,
+      Span<const double> dists, size_t total_entries,
+      std::shared_ptr<const void> payload);
 
   /// Exact shortest-path cost (infinity if disconnected).
   double Query(NodeId s, NodeId t) const;
@@ -42,19 +62,30 @@ class HubLabeling {
   double QueryPinned(const double* scratch, NodeId t) const;
   void UnpinSource(NodeId s, double* scratch) const;
 
+  // Arena section views for serialization (roadnet/snapshot.cc). The rank
+  // and distance planes include the per-node sentinels.
+  Span<const uint32_t> label_offsets() const { return offsets_view_; }
+  Span<const int32_t> rank_plane() const { return ranks_view_; }
+  Span<const double> dist_plane() const { return dists_view_; }
+
   size_t TotalLabelEntries() const { return total_entries_; }
   size_t MemoryBytes() const;
 
  private:
-  /// Terminates every node's label run; compares greater than any real rank.
-  static constexpr int32_t kSentinelRank = INT32_MAX;
+  HubLabeling() = default;
 
-  // Node-major label arena: node v's run is [offsets_[v], sentinel), with
-  // ranks_[k] ascending per run and dists_[k] the matching distance.
+  // Node-major label arena: node v's run is [offsets[v], sentinel), with
+  // ranks ascending per run and dists[k] the matching distance. The vectors
+  // hold the owned (built) arena; the views are what queries read and point
+  // either at the vectors or at borrowed snapshot sections.
   std::vector<int32_t> ranks_;
   std::vector<double> dists_;
   std::vector<uint32_t> offsets_;  ///< start of node v's run
-  size_t total_entries_ = 0;       ///< real entries (sentinels excluded)
+  Span<const int32_t> ranks_view_;
+  Span<const double> dists_view_;
+  Span<const uint32_t> offsets_view_;
+  std::shared_ptr<const void> payload_;  ///< keeps borrowed sections alive
+  size_t total_entries_ = 0;             ///< real entries (sentinels excluded)
   size_t num_nodes_ = 0;
 };
 

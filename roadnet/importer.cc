@@ -1,0 +1,449 @@
+#include "roadnet/importer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace structride {
+
+namespace {
+
+// ------------------------------------------------------------- parsing ----
+
+bool ReadFileLines(const std::string& path, std::vector<std::string>* lines,
+                   std::string* error) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t nl = content.find('\n', start);
+    size_t end = nl == std::string::npos ? content.size() : nl;
+    size_t len = end - start;
+    // CRLF endings: strip the trailing carriage return.
+    if (len > 0 && content[start + len - 1] == '\r') --len;
+    lines->emplace_back(content, start, len);
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  // Drop one trailing empty line from a final newline.
+  if (!lines->empty() && lines->back().empty()) lines->pop_back();
+  return true;
+}
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(line, start, i - start);
+  }
+  return tokens;
+}
+
+bool ParseI64(const std::string& tok, int64_t* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string LineError(const std::string& path, size_t lineno,
+                      const std::string& what) {
+  return path + ":" + std::to_string(lineno) + ": " + what;
+}
+
+// ------------------------------------------------ folded graph builder ----
+
+struct PendingEdge {
+  int32_t u;
+  int32_t v;
+  double cost;
+};
+
+// Accumulates nodes and folded undirected edges in deterministic order,
+// then applies the import normalizations and freezes a RoadNetwork.
+struct GraphAssembler {
+  std::vector<Point> positions;
+  std::vector<PendingEdge> edges;              // first-seen canonical order
+  std::unordered_map<uint64_t, size_t> index;  // canonical pair -> edge slot
+
+  static uint64_t Key(int32_t u, int32_t v) {
+    int32_t lo = u < v ? u : v, hi = u < v ? v : u;
+    return (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+           static_cast<uint32_t>(hi);
+  }
+
+  /// Folds one arc: self loops dropped, duplicate pairs keep the cheapest.
+  void AddArc(int32_t u, int32_t v, double cost, ImportStats* stats) {
+    ++stats->file_arcs;
+    if (u == v) {
+      ++stats->self_arcs;
+      return;
+    }
+    auto [it, inserted] = index.emplace(Key(u, v), edges.size());
+    if (inserted) {
+      edges.push_back({u, v, cost});
+    } else {
+      ++stats->duplicate_arcs;
+      if (cost < edges[it->second].cost) edges[it->second].cost = cost;
+    }
+  }
+
+  bool Finalize(const ImportOptions& options, RoadNetwork* out,
+                ImportStats* stats, std::string* error) {
+    const size_t n = positions.size();
+    stats->file_nodes = n;
+    if (n == 0) {
+      *error = "graph has no nodes";
+      return false;
+    }
+
+    // Largest connected component (deterministic: components found in
+    // ascending seed order; strict > keeps the earliest largest one).
+    std::vector<int32_t> keep_id(n, 0);  // new id, or -1 for dropped
+    size_t kept = n;
+    if (options.restrict_to_largest_component && !edges.empty()) {
+      std::vector<std::vector<int32_t>> adj(n);
+      for (const PendingEdge& e : edges) {
+        adj[static_cast<size_t>(e.u)].push_back(e.v);
+        adj[static_cast<size_t>(e.v)].push_back(e.u);
+      }
+      std::vector<int32_t> component(n, -1);
+      std::vector<size_t> sizes;
+      std::vector<int32_t> stack;
+      for (size_t seed = 0; seed < n; ++seed) {
+        if (component[seed] >= 0) continue;
+        int32_t comp = static_cast<int32_t>(sizes.size());
+        size_t size = 0;
+        stack.push_back(static_cast<int32_t>(seed));
+        component[seed] = comp;
+        while (!stack.empty()) {
+          int32_t v = stack.back();
+          stack.pop_back();
+          ++size;
+          for (int32_t to : adj[static_cast<size_t>(v)]) {
+            if (component[static_cast<size_t>(to)] < 0) {
+              component[static_cast<size_t>(to)] = comp;
+              stack.push_back(to);
+            }
+          }
+        }
+        sizes.push_back(size);
+      }
+      int32_t best = 0;
+      for (size_t c = 1; c < sizes.size(); ++c) {
+        if (sizes[c] > sizes[static_cast<size_t>(best)]) {
+          best = static_cast<int32_t>(c);
+        }
+      }
+      kept = 0;
+      for (size_t v = 0; v < n; ++v) {
+        keep_id[v] = component[v] == best ? static_cast<int32_t>(kept++) : -1;
+      }
+    } else {
+      for (size_t v = 0; v < n; ++v) keep_id[v] = static_cast<int32_t>(v);
+    }
+    stats->dropped_component_nodes = n - kept;
+
+    // Admissibility rescale (see header): shrink positions uniformly until
+    // every kept edge's Euclidean length is below its cost.
+    double factor = 1.0;
+    if (options.scale_positions_to_admissible) {
+      for (const PendingEdge& e : edges) {
+        if (keep_id[static_cast<size_t>(e.u)] < 0 ||
+            keep_id[static_cast<size_t>(e.v)] < 0) {
+          continue;
+        }
+        double euclid = EuclidDistance(positions[static_cast<size_t>(e.u)],
+                                       positions[static_cast<size_t>(e.v)]);
+        if (euclid > 0 && e.cost < euclid * factor) {
+          factor = e.cost / euclid;
+        }
+      }
+      if (factor < 1.0) factor *= 1.0 - 1e-9;  // strict under double rounding
+    }
+    stats->position_scale = factor;
+
+    RoadNetwork net;
+    for (size_t v = 0; v < n; ++v) {
+      if (keep_id[v] < 0) continue;
+      net.AddNode({positions[v].x * factor, positions[v].y * factor});
+    }
+    size_t kept_edges = 0;
+    for (const PendingEdge& e : edges) {
+      int32_t u = keep_id[static_cast<size_t>(e.u)];
+      int32_t v = keep_id[static_cast<size_t>(e.v)];
+      if (u < 0 || v < 0) continue;
+      net.AddEdge(u, v, e.cost);
+      ++kept_edges;
+    }
+    net.Freeze();
+    stats->kept_nodes = kept;
+    stats->kept_edges = kept_edges;
+    if (kept == 0) {
+      *error = "no nodes left after component restriction";
+      return false;
+    }
+    *out = std::move(net);
+    return true;
+  }
+};
+
+}  // namespace
+
+// -------------------------------------------------------------- DIMACS ----
+
+bool ImportDimacs(const std::string& gr_path, const std::string& co_path,
+                  const ImportOptions& options, RoadNetwork* out,
+                  ImportStats* stats, std::string* error) {
+  *stats = ImportStats{};
+  std::vector<std::string> lines;
+  if (!ReadFileLines(gr_path, &lines, error)) return false;
+
+  GraphAssembler assembler;
+  int64_t declared_nodes = -1, declared_arcs = -1;
+  size_t parsed_arcs = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty() || line[0] == 'c') continue;
+    std::vector<std::string> tok = SplitWs(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "p") {
+      if (declared_nodes >= 0) {
+        *error = LineError(gr_path, i + 1, "duplicate problem line");
+        return false;
+      }
+      if (tok.size() != 4 || tok[1] != "sp" ||
+          !ParseI64(tok[2], &declared_nodes) ||
+          !ParseI64(tok[3], &declared_arcs) || declared_nodes <= 0 ||
+          declared_arcs < 0) {
+        *error = LineError(gr_path, i + 1, "malformed 'p sp <n> <m>' line");
+        return false;
+      }
+      assembler.positions.resize(static_cast<size_t>(declared_nodes));
+    } else if (tok[0] == "a") {
+      if (declared_nodes < 0) {
+        *error = LineError(gr_path, i + 1, "arc before the problem line");
+        return false;
+      }
+      int64_t u, v;
+      double w;
+      if (tok.size() != 4 || !ParseI64(tok[1], &u) || !ParseI64(tok[2], &v) ||
+          !ParseF64(tok[3], &w)) {
+        *error = LineError(gr_path, i + 1, "malformed 'a <u> <v> <w>' line");
+        return false;
+      }
+      // DIMACS ids are 1-based.
+      if (u < 1 || u > declared_nodes || v < 1 || v > declared_nodes) {
+        *error = LineError(gr_path, i + 1, "node id out of range");
+        return false;
+      }
+      if (w < 0) {
+        *error = LineError(gr_path, i + 1, "negative arc cost");
+        return false;
+      }
+      ++parsed_arcs;
+      assembler.AddArc(static_cast<int32_t>(u - 1), static_cast<int32_t>(v - 1),
+                       w, stats);
+    } else {
+      *error = LineError(gr_path, i + 1, "unrecognized line '" + line + "'");
+      return false;
+    }
+  }
+  if (declared_nodes < 0) {
+    *error = gr_path + ": missing 'p sp <n> <m>' problem line";
+    return false;
+  }
+  if (static_cast<int64_t>(parsed_arcs) != declared_arcs) {
+    *error = gr_path + ": declared " + std::to_string(declared_arcs) +
+             " arcs but the body has " + std::to_string(parsed_arcs);
+    return false;
+  }
+
+  // Coordinates.
+  std::vector<std::string> co_lines;
+  if (!ReadFileLines(co_path, &co_lines, error)) return false;
+  std::vector<bool> have_pos(static_cast<size_t>(declared_nodes), false);
+  bool co_header = false;
+  for (size_t i = 0; i < co_lines.size(); ++i) {
+    const std::string& line = co_lines[i];
+    if (line.empty() || line[0] == 'c') continue;
+    std::vector<std::string> tok = SplitWs(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "p") {
+      int64_t co_nodes;
+      if (tok.size() != 5 || tok[1] != "aux" || tok[2] != "sp" ||
+          tok[3] != "co" || !ParseI64(tok[4], &co_nodes)) {
+        *error = LineError(co_path, i + 1, "malformed 'p aux sp co <n>' line");
+        return false;
+      }
+      if (co_nodes != declared_nodes) {
+        *error = LineError(co_path, i + 1,
+                           "coordinate node count mismatches the .gr file");
+        return false;
+      }
+      co_header = true;
+    } else if (tok[0] == "v") {
+      int64_t id;
+      double x, y;
+      if (tok.size() != 4 || !ParseI64(tok[1], &id) || !ParseF64(tok[2], &x) ||
+          !ParseF64(tok[3], &y)) {
+        *error = LineError(co_path, i + 1, "malformed 'v <id> <x> <y>' line");
+        return false;
+      }
+      if (id < 1 || id > declared_nodes) {
+        *error = LineError(co_path, i + 1, "node id out of range");
+        return false;
+      }
+      size_t idx = static_cast<size_t>(id - 1);
+      if (have_pos[idx]) {
+        *error = LineError(co_path, i + 1, "duplicate coordinate for node " +
+                                               std::to_string(id));
+        return false;
+      }
+      have_pos[idx] = true;
+      assembler.positions[idx] = {x, y};
+    } else {
+      *error = LineError(co_path, i + 1, "unrecognized line '" + line + "'");
+      return false;
+    }
+  }
+  if (!co_header) {
+    *error = co_path + ": missing 'p aux sp co <n>' line";
+    return false;
+  }
+  for (size_t v = 0; v < have_pos.size(); ++v) {
+    if (!have_pos[v]) {
+      *error = co_path + ": node " + std::to_string(v + 1) +
+               " has no coordinate";
+      return false;
+    }
+  }
+  return assembler.Finalize(options, out, stats, error);
+}
+
+// ------------------------------------------------------- OSM edge list ----
+
+bool ImportOsmEdgeList(const std::string& path, const ImportOptions& options,
+                       RoadNetwork* out, ImportStats* stats,
+                       std::string* error) {
+  *stats = ImportStats{};
+  std::vector<std::string> lines;
+  if (!ReadFileLines(path, &lines, error)) return false;
+
+  GraphAssembler assembler;
+  std::unordered_map<int64_t, int32_t> id_map;  // file id -> dense id
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tok = SplitWs(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "n") {
+      int64_t id;
+      double x, y;
+      if (tok.size() != 4 || !ParseI64(tok[1], &id) || !ParseF64(tok[2], &x) ||
+          !ParseF64(tok[3], &y)) {
+        *error = LineError(path, i + 1, "malformed 'n <id> <x> <y>' line");
+        return false;
+      }
+      auto [it, inserted] =
+          id_map.emplace(id, static_cast<int32_t>(assembler.positions.size()));
+      (void)it;
+      if (!inserted) {
+        *error = LineError(path, i + 1,
+                           "duplicate node id " + std::to_string(id));
+        return false;
+      }
+      assembler.positions.push_back({x, y});
+    } else if (tok[0] == "e") {
+      int64_t u, v;
+      double cost;
+      if (tok.size() != 4 || !ParseI64(tok[1], &u) || !ParseI64(tok[2], &v) ||
+          !ParseF64(tok[3], &cost)) {
+        *error = LineError(path, i + 1, "malformed 'e <u> <v> <cost>' line");
+        return false;
+      }
+      auto iu = id_map.find(u), iv = id_map.find(v);
+      if (iu == id_map.end() || iv == id_map.end()) {
+        *error = LineError(path, i + 1, "edge names an undeclared node");
+        return false;
+      }
+      if (!(cost > 0)) {
+        *error = LineError(path, i + 1, "edge cost must be positive");
+        return false;
+      }
+      assembler.AddArc(iu->second, iv->second, cost, stats);
+    } else {
+      *error = LineError(path, i + 1, "unrecognized line '" + line + "'");
+      return false;
+    }
+  }
+  return assembler.Finalize(options, out, stats, error);
+}
+
+// ------------------------------------------------------------ dispatch ----
+
+bool ImportGraphFile(const std::string& path, const ImportOptions& options,
+                     RoadNetwork* out, ImportStats* stats,
+                     std::string* error) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  char head[8] = {0};
+  size_t got = std::fread(head, 1, sizeof(head), f);
+  std::fclose(f);
+  if (got == sizeof(head) && std::memcmp(head, "SRSNAP1", 7) == 0) {
+    *error = path + " is a binary graph snapshot; load it through "
+             "LoadGraphSnapshot (roadnet/snapshot.h)";
+    return false;
+  }
+  // DIMACS when the extension says so or the first byte is a DIMACS record
+  // tag; our OSM edge-list lines start with '#', 'n' or 'e' instead.
+  bool dimacs = false;
+  if (path.size() > 3 && path.compare(path.size() - 3, 3, ".gr") == 0) {
+    dimacs = true;
+  } else if (got > 0 && (head[0] == 'c' || head[0] == 'p' || head[0] == 'a')) {
+    dimacs = true;
+  }
+  if (dimacs) {
+    std::string co_path = path;
+    if (path.size() > 3 && path.compare(path.size() - 3, 3, ".gr") == 0) {
+      co_path = path.substr(0, path.size() - 3) + ".co";
+    } else {
+      co_path = path + ".co";
+    }
+    return ImportDimacs(path, co_path, options, out, stats, error);
+  }
+  return ImportOsmEdgeList(path, options, out, stats, error);
+}
+
+}  // namespace structride

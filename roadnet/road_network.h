@@ -1,8 +1,9 @@
 // The road network substrate: an undirected weighted graph with planar node
 // positions. Edge weights are travel costs (abstract seconds) and are
-// guaranteed by every generator to be >= the Euclidean distance between the
-// endpoints, so straight-line distance is an admissible lower bound for all
-// search and pruning code (A*, insertion pruning, angle pruning).
+// guaranteed by every generator — and by the importer's admissibility
+// rescale (roadnet/importer.h) — to be >= the Euclidean distance between
+// the endpoints, so straight-line distance is an admissible lower bound for
+// all search and pruning code (A*, insertion pruning, angle pruning).
 //
 // Memory layout (DESIGN.md §"Memory layout"): the graph is built through
 // AddNode/AddEdge into per-node vectors, then *frozen* into a CSR view —
@@ -11,11 +12,20 @@
 // first arcs() call; after it, AddNode/AddEdge are contract violations
 // (SR_CHECK). Freezing must happen before the network is shared across
 // threads (constructing any TravelCostEngine does it).
+//
+// Ownership (DESIGN.md §"Graph import and persistence"): every accessor
+// reads through borrowed views (positions/offsets/arcs spans). A network
+// built through AddNode/AddEdge owns its buffers and points the views at
+// them on Freeze(); a network loaded from a snapshot borrows the views
+// straight out of the (possibly mmap-ed) section payloads and keeps the
+// backing GraphSource alive through a type-erased shared_ptr. The hot
+// paths cannot tell the difference.
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -36,10 +46,38 @@ class RoadNetwork {
   /// Contiguous view of one node's arcs in the frozen CSR.
   using ArcSpan = Span<const Arc>;
 
+  RoadNetwork() = default;
+  // Views alias the owned vectors' heap buffers, which vector moves
+  // preserve; copies would alias the source's buffers, so they are banned.
+  RoadNetwork(RoadNetwork&&) = default;
+  RoadNetwork& operator=(RoadNetwork&&) = default;
+  RoadNetwork(const RoadNetwork&) = delete;
+  RoadNetwork& operator=(const RoadNetwork&) = delete;
+
+  /// Adopts already-frozen CSR sections owned elsewhere (a loaded snapshot):
+  /// the returned network is frozen and borrows every buffer; \p payload
+  /// keeps the backing storage (e.g. the mmap-ed GraphSource) alive for the
+  /// network's lifetime. The sections must already satisfy the CSR
+  /// invariants — the snapshot loader validates them before calling this.
+  static RoadNetwork FromFrozenSections(Span<const Point> positions,
+                                        Span<const uint32_t> offsets,
+                                        Span<const Arc> arcs, size_t num_edges,
+                                        std::shared_ptr<const void> payload) {
+    RoadNetwork net;
+    net.positions_view_ = positions;
+    net.offsets_view_ = offsets;
+    net.arcs_view_ = arcs;
+    net.num_edges_ = num_edges;
+    net.payload_ = std::move(payload);
+    net.frozen_ = true;
+    return net;
+  }
+
   NodeId AddNode(Point position) {
     SR_CHECK(!frozen_);
     positions_.push_back(position);
     adjacency_.emplace_back();
+    positions_view_ = {positions_.data(), positions_.size()};
     return static_cast<NodeId>(positions_.size() - 1);
   }
 
@@ -70,16 +108,20 @@ class RoadNetwork {
       arcs_.insert(arcs_.end(), adjacency_[v].begin(), adjacency_[v].end());
     }
     std::vector<std::vector<Arc>>().swap(adjacency_);
+    offsets_view_ = {offsets_.data(), offsets_.size()};
+    arcs_view_ = {arcs_.data(), arcs_.size()};
     frozen_ = true;
   }
 
   bool frozen() const { return frozen_; }
+  /// True when the CSR buffers are borrowed from a loaded snapshot.
+  bool borrowed() const { return payload_ != nullptr; }
 
-  size_t num_nodes() const { return positions_.size(); }
+  size_t num_nodes() const { return positions_view_.size(); }
   size_t num_edges() const { return num_edges_; }
 
   const Point& position(NodeId v) const {
-    return positions_[static_cast<size_t>(v)];
+    return positions_view_[static_cast<size_t>(v)];
   }
 
   /// The node's arcs as a CSR span; lazily freezes on first use (must not
@@ -87,7 +129,20 @@ class RoadNetwork {
   ArcSpan arcs(NodeId v) const {
     if (!frozen_) const_cast<RoadNetwork*>(this)->Freeze();
     const size_t u = static_cast<size_t>(v);
-    return {arcs_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+    return {arcs_view_.data() + offsets_view_[u],
+            offsets_view_[u + 1] - offsets_view_[u]};
+  }
+
+  // Whole-graph section views for serialization (roadnet/snapshot.cc);
+  // lazily freeze like arcs().
+  Span<const Point> positions() const { return positions_view_; }
+  Span<const uint32_t> csr_offsets() const {
+    if (!frozen_) const_cast<RoadNetwork*>(this)->Freeze();
+    return offsets_view_;
+  }
+  Span<const Arc> csr_arcs() const {
+    if (!frozen_) const_cast<RoadNetwork*>(this)->Freeze();
+    return arcs_view_;
   }
 
   double EuclidLowerBound(NodeId u, NodeId v) const {
@@ -95,13 +150,20 @@ class RoadNetwork {
   }
 
   /// Heap bytes actually reserved: capacity-based for every vector so slack
-  /// is charged, plus the per-node vector headers while unfrozen.
+  /// is charged, plus the per-node vector headers while unfrozen. A borrowed
+  /// network charges its section views instead (those bytes are resident
+  /// once touched, whether read into a heap buffer or mmap-ed).
   size_t MemoryBytes() const {
     size_t bytes = positions_.capacity() * sizeof(Point);
     bytes += offsets_.capacity() * sizeof(uint32_t);
     bytes += arcs_.capacity() * sizeof(Arc);
     bytes += adjacency_.capacity() * sizeof(std::vector<Arc>);
     for (const auto& arcs : adjacency_) bytes += arcs.capacity() * sizeof(Arc);
+    if (payload_ != nullptr) {
+      bytes += positions_view_.size() * sizeof(Point);
+      bytes += offsets_view_.size() * sizeof(uint32_t);
+      bytes += arcs_view_.size() * sizeof(Arc);
+    }
     return bytes;
   }
 
@@ -110,6 +172,12 @@ class RoadNetwork {
   std::vector<std::vector<Arc>> adjacency_;  ///< build-time; empty once frozen
   std::vector<uint32_t> offsets_;            ///< CSR: arcs of v at [v, v+1)
   std::vector<Arc> arcs_;                    ///< CSR: all arcs, node-major
+  // What the accessors read: the owned vectors (set by AddNode/Freeze) or a
+  // loaded snapshot's sections (set by FromFrozenSections).
+  Span<const Point> positions_view_;
+  Span<const uint32_t> offsets_view_;
+  Span<const Arc> arcs_view_;
+  std::shared_ptr<const void> payload_;  ///< keeps borrowed sections alive
   size_t num_edges_ = 0;
   bool frozen_ = false;
 };

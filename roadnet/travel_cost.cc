@@ -41,12 +41,18 @@ TravelCostEngine::TravelCostEngine(const RoadNetwork& net,
   // Freeze before any backend build or concurrent use: every search below
   // iterates the CSR spans.
   const_cast<RoadNetwork&>(net_).Freeze();
+  // A prebuilt index (from a loaded snapshot) is adopted as-is; only build
+  // when the selected backend has none.
   switch (options_.backend) {
     case TravelCostOptions::Backend::kHubLabeling:
-      hub_labels_ = std::make_unique<HubLabeling>(net_);
+      if (options_.prebuilt_hub_labels == nullptr) {
+        hub_labels_ = std::make_unique<HubLabeling>(net_);
+      }
       break;
     case TravelCostOptions::Backend::kContractionHierarchies:
-      ch_ = std::make_unique<ContractionHierarchies>(net_);
+      if (options_.prebuilt_ch == nullptr) {
+        ch_ = std::make_unique<ContractionHierarchies>(net_);
+      }
       break;
     case TravelCostOptions::Backend::kBidirectionalDijkstra:
       break;
@@ -108,9 +114,9 @@ double TravelCostEngine::BackendCost(NodeId s, NodeId t) const {
   if (parent_ != nullptr) return parent_->BackendCost(s, t);
   switch (options_.backend) {
     case TravelCostOptions::Backend::kHubLabeling:
-      return hub_labels_->Query(s, t);
+      return Hl()->Query(s, t);
     case TravelCostOptions::Backend::kContractionHierarchies:
-      return ch_->Query(s, t);
+      return Ch()->Query(s, t);
     case TravelCostOptions::Backend::kBidirectionalDijkstra:
       return BidirectionalDijkstra(net_, s, t);
   }
@@ -138,7 +144,12 @@ double TravelCostEngine::Cost(NodeId s, NodeId t) const {
 
 void TravelCostEngine::CostMany(NodeId source, Span<const NodeId> targets,
                                 double* out) const {
-  const HubLabeling* hl = Hl();
+  // Pinned-source fast path only when hub labels are the selected backend
+  // (a bundle may carry a prebuilt HL next to a CH engine; accounting must
+  // match the configured backend).
+  const HubLabeling* hl =
+      options_.backend == TravelCostOptions::Backend::kHubLabeling ? Hl()
+                                                                   : nullptr;
   bool pinned = false;
   double* scratch = nullptr;
   for (size_t i = 0; i < targets.size(); ++i) {
@@ -231,8 +242,12 @@ double TravelCostEngine::CacheHitRate() const {
 
 size_t TravelCostEngine::MemoryBytes() const {
   size_t bytes = 0;
-  if (hub_labels_) bytes += hub_labels_->MemoryBytes();
-  if (ch_) bytes += ch_->MemoryBytes();
+  // Count whichever index the engine actually queries — owned or adopted
+  // from a snapshot (the root engine charges adopted indices once).
+  if (parent_ == nullptr) {
+    if (const HubLabeling* hl = Hl()) bytes += hl->MemoryBytes();
+    if (const ContractionHierarchies* ch = Ch()) bytes += ch->MemoryBytes();
+  }
   for (const auto& shard : shards_) {
     bytes += shard->lru.MemoryBytes() + sizeof(Shard);
   }

@@ -49,6 +49,12 @@ struct TravelCostOptions {
   size_t cache_capacity = 1u << 20;
   /// Lock stripes; rounded up to a power of two, clamped to >= 1.
   size_t cache_shards = 64;
+  /// Already-built indices to adopt instead of rebuilding — how a
+  /// snapshot-loaded GraphBundle's preprocessed sections are plugged in.
+  /// Used only when the matching backend is selected; must outlive the
+  /// engine (and any partitions).
+  const HubLabeling* prebuilt_hub_labels = nullptr;
+  const ContractionHierarchies* prebuilt_ch = nullptr;
 };
 
 class TravelCostEngine {
@@ -116,7 +122,14 @@ class TravelCostEngine {
   double BackendCost(NodeId s, NodeId t) const;
   Shard& ShardFor(uint64_t key) const;
   const HubLabeling* Hl() const {
-    return parent_ ? parent_->hub_labels_.get() : hub_labels_.get();
+    if (parent_ != nullptr) return parent_->Hl();
+    return options_.prebuilt_hub_labels != nullptr
+               ? options_.prebuilt_hub_labels
+               : hub_labels_.get();
+  }
+  const ContractionHierarchies* Ch() const {
+    if (parent_ != nullptr) return parent_->Ch();
+    return options_.prebuilt_ch != nullptr ? options_.prebuilt_ch : ch_.get();
   }
   /// This engine's own cache counters, partitions excluded.
   uint64_t OwnQueries() const;

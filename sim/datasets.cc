@@ -1,7 +1,9 @@
 #include "sim/datasets.h"
 
 #include <cmath>
+#include <cstdlib>
 
+#include "roadnet/importer.h"
 #include "util/logging.h"
 
 namespace structride {
@@ -60,6 +62,16 @@ DatasetSpec CainiaoPreset() {
   return spec;
 }
 
+// "file:/data/nyc.gr" -> the CHD workload shape on an imported real graph.
+// The basename names the run in bench output.
+DatasetSpec FilePreset(const std::string& path) {
+  DatasetSpec spec = ChdPreset();
+  spec.graph_file = path;
+  size_t slash = path.find_last_of('/');
+  spec.name = slash == std::string::npos ? path : path.substr(slash + 1);
+  return spec;
+}
+
 }  // namespace
 
 DatasetSpec DatasetByName(const std::string& name, double scale) {
@@ -71,8 +83,11 @@ DatasetSpec DatasetByName(const std::string& name, double scale) {
     spec = NycPreset();
   } else if (name == "Cainiao") {
     spec = CainiaoPreset();
+  } else if (name.rfind("file:", 0) == 0) {
+    spec = FilePreset(name.substr(5));
   } else {
-    SR_LOG("unknown dataset '%s' (want CHD, NYC or Cainiao)", name.c_str());
+    SR_LOG("unknown dataset '%s' (want CHD, NYC, Cainiao or file:<path>)",
+           name.c_str());
     SR_CHECK(false);
   }
   // The one and only place scale is applied (see header).
@@ -84,9 +99,43 @@ DatasetSpec DatasetByName(const std::string& name, double scale) {
   return spec;
 }
 
-RoadNetwork BuildNetwork(const DatasetSpec* spec) {
+GraphBundle BuildGraph(const DatasetSpec* spec) {
   SR_CHECK(spec != nullptr);
-  return GenerateGridCity(spec->city);
+  std::string path = spec->graph_file;
+  // The environment override wins so any preset can be pointed at a real
+  // graph without changing code: STRUCTRIDE_GRAPH_FILE=/data/nyc.gr.
+  if (const char* env = std::getenv("STRUCTRIDE_GRAPH_FILE")) {
+    if (env[0] != '\0') path = env;
+  }
+  GraphBundle bundle;
+  if (path.empty()) {
+    bundle.network = GenerateGridCity(spec->city);
+    return bundle;
+  }
+  std::string error;
+  if (IsSnapshotFile(path)) {
+    if (!LoadGraphSnapshot(path, {}, &bundle, &error)) {
+      SR_LOG("cannot load snapshot %s: %s", path.c_str(), error.c_str());
+      SR_CHECK(false);
+    }
+    return bundle;
+  }
+  ImportStats stats;
+  if (!ImportGraphFile(path, {}, &bundle.network, &stats, &error)) {
+    SR_LOG("cannot import graph %s: %s", path.c_str(), error.c_str());
+    SR_CHECK(false);
+  }
+  SR_LOG("imported %s: %zu nodes, %zu edges (dropped %zu off-component, "
+         "%zu dup arcs, scale %.3g)",
+         path.c_str(), stats.kept_nodes, stats.kept_edges,
+         stats.dropped_component_nodes, stats.duplicate_arcs,
+         stats.position_scale);
+  return bundle;
+}
+
+RoadNetwork BuildNetwork(const DatasetSpec* spec) {
+  GraphBundle bundle = BuildGraph(spec);
+  return std::move(bundle.network);
 }
 
 }  // namespace structride

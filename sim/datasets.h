@@ -1,18 +1,26 @@
-// Dataset presets: the synthetic stand-ins for the paper's three cities
-// (Chengdu taxis, NYC taxis, Cainiao logistics). A preset at scale 1 is the
-// DESIGN.md default size, roughly 1/25 of the paper's full workload; the
-// paper's Table-III defaults correspond to scale ~25.
+// Dataset presets: the *synthetic* stand-ins for the paper's three cities
+// (Chengdu taxis, NYC taxis, Cainiao logistics). "CHD"/"NYC"/"Cainiao" name
+// generated grid cities whose shape parameters imitate the real networks —
+// they are NOT the real datasets. To run on a real road network, use a
+// "file:<path>" preset or set STRUCTRIDE_GRAPH_FILE (see BuildGraph):
+// <path> is a DIMACS .gr / OSM edge-list import (roadnet/importer.h) or a
+// preprocessed binary snapshot (roadnet/snapshot.h).
+//
+// A synthetic preset at scale 1 is the DESIGN.md default size, roughly 1/25
+// of the paper's full workload; the paper's Table-III defaults correspond
+// to scale ~25.
 //
 // Scaling semantics (DESIGN.md §2): DatasetByName applies \p scale to the
 // request count, the fleet size AND the arrival window, exactly once —
 // callers must not rescale any of them again. Network size is a property of
-// the city and does not scale.
+// the city (or the graph file) and does not scale.
 
 #pragma once
 
 #include <string>
 
 #include "roadnet/generator.h"
+#include "roadnet/snapshot.h"
 #include "sim/workload.h"
 
 namespace structride {
@@ -20,17 +28,30 @@ namespace structride {
 struct DatasetSpec {
   std::string name;
   CityOptions city;
+  /// When non-empty, the road network comes from this file (import or
+  /// snapshot) instead of the synthetic grid generator.
+  std::string graph_file;
   int num_vehicles = 0;
   int capacity = 0;  ///< Table-III default seat count
   DeadlinePolicy policy;
   WorkloadOptions workload;
 };
 
-/// Preset by name ("CHD", "NYC", "Cainiao"), already scaled.
-/// SR_CHECK-fails on unknown names or non-positive scales.
+/// Preset by name, already scaled. "CHD", "NYC" and "Cainiao" are the
+/// synthetic grid presets; "file:<path>" runs the CHD workload shape on the
+/// graph imported or loaded from <path>. SR_CHECK-fails on unknown names or
+/// non-positive scales.
 DatasetSpec DatasetByName(const std::string& name, double scale);
 
-/// Materializes the preset's road network.
+/// Materializes the preset's graph: the synthetic generator, or — when
+/// spec->graph_file or the STRUCTRIDE_GRAPH_FILE environment variable is
+/// set (env wins) — an import/snapshot load of that file. Snapshot loads
+/// carry any preprocessed indices along in the bundle; pass those to
+/// TravelCostOptions::prebuilt_* to skip rebuilding. SR_CHECK-fails if the
+/// file cannot be imported or loaded.
+GraphBundle BuildGraph(const DatasetSpec* spec);
+
+/// Materializes just the road network (BuildGraph minus the indices).
 RoadNetwork BuildNetwork(const DatasetSpec* spec);
 
 }  // namespace structride

@@ -1,0 +1,281 @@
+// Real-graph import: DIMACS / OSM-edge-list parsers, their edge cases
+// (comments, 1-based ids, duplicate/self/out-of-order arcs, CRLF, declared
+// count mismatches), the import normalizations (admissibility rescale,
+// largest-component restriction) and the bundled fixture.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "roadnet/astar.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/importer.h"
+
+namespace structride {
+namespace {
+
+std::string DataPath(const std::string& name) {
+  return std::string(STRUCTRIDE_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return path;
+}
+
+// The importer's admissibility contract: every arc cost dominates the
+// Euclidean distance between its endpoints.
+void ExpectAdmissible(const RoadNetwork& net) {
+  for (size_t v = 0; v < net.num_nodes(); ++v) {
+    for (const RoadNetwork::Arc& arc : net.arcs(static_cast<NodeId>(v))) {
+      EXPECT_GE(arc.cost,
+                net.EuclidLowerBound(static_cast<NodeId>(v), arc.to) - 1e-9);
+    }
+  }
+}
+
+TEST(ImporterTest, BundledFixtureImports) {
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+  ASSERT_TRUE(ImportDimacs(DataPath("mini.gr"), DataPath("mini.co"), {}, &net,
+                           &stats, &error))
+      << error;
+  EXPECT_EQ(stats.file_nodes, 484u);
+  EXPECT_EQ(stats.file_arcs, 1816u);
+  // Every arc is emitted in both directions; the reverse folds as duplicate.
+  EXPECT_EQ(stats.duplicate_arcs, 908u);
+  EXPECT_GE(stats.kept_nodes, 450u);
+  EXPECT_GE(stats.kept_edges, 850u);
+  EXPECT_EQ(net.num_nodes(), stats.kept_nodes);
+  EXPECT_EQ(net.num_edges(), stats.kept_edges);
+  ExpectAdmissible(net);
+  // The fixture is usable by admissible searches out of the box.
+  std::vector<double> ref = DijkstraAll(net, 0);
+  NodeId far = static_cast<NodeId>(net.num_nodes() - 1);
+  EXPECT_NEAR(AStarCost(net, 0, far), ref[static_cast<size_t>(far)], 1e-6);
+}
+
+TEST(ImporterTest, DimacsCommentsCrlfAndOutOfOrderArcs) {
+  // CRLF endings everywhere, comments interleaved, arcs in scrambled order.
+  std::string gr = WriteTemp(
+      "crlf.gr",
+      "c leading comment\r\n"
+      "p sp 3 4\r\n"
+      "c mid comment\r\n"
+      "a 2 3 5\r\n"
+      "a 1 2 4\r\n"
+      "c another\r\n"
+      "a 3 2 5\r\n"
+      "a 2 1 4\r\n");
+  std::string co = WriteTemp(
+      "crlf.co",
+      "c coords\r\n"
+      "p aux sp co 3\r\n"
+      "v 3 2 0\r\n"
+      "v 1 0 0\r\n"
+      "v 2 1 0\r\n");
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+  ASSERT_TRUE(ImportDimacs(gr, co, {}, &net, &stats, &error)) << error;
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.num_edges(), 2u);
+  EXPECT_EQ(stats.duplicate_arcs, 2u);
+  // 1-based file ids map to 0-based nodes: 1-2 cost 4, 2-3 cost 5.
+  std::vector<double> ref = DijkstraAll(net, 0);
+  EXPECT_DOUBLE_EQ(ref[1], 4);
+  EXPECT_DOUBLE_EQ(ref[2], 9);
+}
+
+TEST(ImporterTest, DimacsFoldsDuplicatesKeepingCheapestAndDropsSelfArcs) {
+  std::string gr = WriteTemp("dup.gr",
+                             "p sp 2 4\n"
+                             "a 1 2 9\n"
+                             "a 2 1 3\n"
+                             "a 1 1 1\n"
+                             "a 1 2 7\n");
+  std::string co = WriteTemp("dup.co",
+                             "p aux sp co 2\n"
+                             "v 1 0 0\n"
+                             "v 2 1 0\n");
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+  ASSERT_TRUE(ImportDimacs(gr, co, {}, &net, &stats, &error)) << error;
+  EXPECT_EQ(stats.self_arcs, 1u);
+  EXPECT_EQ(stats.duplicate_arcs, 2u);
+  EXPECT_EQ(net.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(net.arcs(0)[0].cost, 3);  // the cheapest of 9, 3, 7
+}
+
+TEST(ImporterTest, DimacsRejectsMalformedInput) {
+  std::string co = WriteTemp("ok.co",
+                             "p aux sp co 2\n"
+                             "v 1 0 0\n"
+                             "v 2 1 0\n");
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+
+  // Arc before the problem line.
+  std::string bad1 = WriteTemp("bad1.gr", "a 1 2 3\np sp 2 1\n");
+  EXPECT_FALSE(ImportDimacs(bad1, co, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("problem line"), std::string::npos) << error;
+
+  // Declared arc count mismatches the body.
+  std::string bad2 = WriteTemp("bad2.gr", "p sp 2 3\na 1 2 3\n");
+  EXPECT_FALSE(ImportDimacs(bad2, co, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("declared 3 arcs"), std::string::npos) << error;
+
+  // 1-based ids: 0 and n+1 are both out of range.
+  std::string bad3 = WriteTemp("bad3.gr", "p sp 2 1\na 0 2 3\n");
+  EXPECT_FALSE(ImportDimacs(bad3, co, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  std::string bad4 = WriteTemp("bad4.gr", "p sp 2 1\na 1 3 3\n");
+  EXPECT_FALSE(ImportDimacs(bad4, co, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+
+  // Negative cost, garbage line, duplicate problem line.
+  std::string bad5 = WriteTemp("bad5.gr", "p sp 2 1\na 1 2 -3\n");
+  EXPECT_FALSE(ImportDimacs(bad5, co, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("negative"), std::string::npos) << error;
+  std::string bad6 = WriteTemp("bad6.gr", "p sp 2 1\nx 1 2 3\n");
+  EXPECT_FALSE(ImportDimacs(bad6, co, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("unrecognized"), std::string::npos) << error;
+  std::string bad7 = WriteTemp("bad7.gr", "p sp 2 1\np sp 2 1\na 1 2 3\n");
+  EXPECT_FALSE(ImportDimacs(bad7, co, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("duplicate problem line"), std::string::npos) << error;
+}
+
+TEST(ImporterTest, DimacsRejectsMalformedCoordinates) {
+  std::string gr = WriteTemp("cook.gr", "p sp 2 1\na 1 2 3\n");
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+
+  std::string co1 = WriteTemp("co1.co", "p aux sp co 2\nv 1 0 0\n");
+  EXPECT_FALSE(ImportDimacs(gr, co1, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("no coordinate"), std::string::npos) << error;
+
+  std::string co2 =
+      WriteTemp("co2.co", "p aux sp co 2\nv 1 0 0\nv 1 1 0\nv 2 1 0\n");
+  EXPECT_FALSE(ImportDimacs(gr, co2, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("duplicate coordinate"), std::string::npos) << error;
+
+  std::string co3 = WriteTemp("co3.co", "p aux sp co 5\nv 1 0 0\nv 2 1 0\n");
+  EXPECT_FALSE(ImportDimacs(gr, co3, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("mismatches"), std::string::npos) << error;
+
+  std::string co4 = WriteTemp("co4.co", "v 1 0 0\nv 2 1 0\n");
+  EXPECT_FALSE(ImportDimacs(gr, co4, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("missing"), std::string::npos) << error;
+}
+
+TEST(ImporterTest, AdmissibilityRescaleShrinksOversizedCoordinates) {
+  // Coordinates in "meters" but costs in "minutes": euclid >> cost. Without
+  // the rescale every lower bound would be inadmissible.
+  std::string gr = WriteTemp("scale.gr",
+                             "p sp 3 4\n"
+                             "a 1 2 2\n"
+                             "a 2 1 2\n"
+                             "a 2 3 3\n"
+                             "a 3 2 3\n");
+  std::string co = WriteTemp("scale.co",
+                             "p aux sp co 3\n"
+                             "v 1 0 0\n"
+                             "v 2 1000 0\n"
+                             "v 3 1000 1500\n");
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+  ASSERT_TRUE(ImportDimacs(gr, co, {}, &net, &stats, &error)) << error;
+  EXPECT_LT(stats.position_scale, 1.0);
+  ExpectAdmissible(net);
+  // Costs are untouched; only positions shrink.
+  std::vector<double> ref = DijkstraAll(net, 0);
+  EXPECT_DOUBLE_EQ(ref[2], 5);
+  // The rescale can be turned off.
+  ImportOptions raw;
+  raw.scale_positions_to_admissible = false;
+  ASSERT_TRUE(ImportDimacs(gr, co, raw, &net, &stats, &error)) << error;
+  EXPECT_DOUBLE_EQ(stats.position_scale, 1.0);
+  EXPECT_DOUBLE_EQ(net.position(1).x, 1000);
+}
+
+TEST(ImporterTest, LargestComponentRestrictionDropsFragments) {
+  // 4 nodes in the main component, a 2-node islet, one isolated node.
+  std::string osm = WriteTemp("frag.osm",
+                              "# fragmented extract\n"
+                              "n 10 0 0\n"
+                              "n 20 1 0\n"
+                              "n 30 2 0\n"
+                              "n 40 3 0\n"
+                              "n 50 100 100\n"
+                              "n 60 101 100\n"
+                              "n 70 200 200\n"
+                              "e 10 20 1.5\n"
+                              "e 20 30 1.5\n"
+                              "e 30 40 1.5\n"
+                              "e 50 60 1.5\n");
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+  ASSERT_TRUE(ImportOsmEdgeList(osm, {}, &net, &stats, &error)) << error;
+  EXPECT_EQ(stats.file_nodes, 7u);
+  EXPECT_EQ(stats.dropped_component_nodes, 3u);
+  EXPECT_EQ(net.num_nodes(), 4u);
+  EXPECT_EQ(net.num_edges(), 3u);
+  std::vector<double> ref = DijkstraAll(net, 0);
+  for (double d : ref) EXPECT_TRUE(std::isfinite(d));  // fully connected
+
+  ImportOptions keep_all;
+  keep_all.restrict_to_largest_component = false;
+  ASSERT_TRUE(ImportOsmEdgeList(osm, keep_all, &net, &stats, &error)) << error;
+  EXPECT_EQ(net.num_nodes(), 7u);
+}
+
+TEST(ImporterTest, OsmEdgeListRejectsMalformedInput) {
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+
+  std::string bad1 = WriteTemp("o1.osm", "n 1 0 0\nn 1 1 0\n");
+  EXPECT_FALSE(ImportOsmEdgeList(bad1, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("duplicate node id"), std::string::npos) << error;
+
+  std::string bad2 = WriteTemp("o2.osm", "n 1 0 0\ne 1 2 3\n");
+  EXPECT_FALSE(ImportOsmEdgeList(bad2, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("undeclared"), std::string::npos) << error;
+
+  std::string bad3 = WriteTemp("o3.osm", "n 1 0 0\nn 2 1 0\ne 1 2 0\n");
+  EXPECT_FALSE(ImportOsmEdgeList(bad3, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+}
+
+TEST(ImporterTest, ImportGraphFileSniffsFormats) {
+  RoadNetwork net;
+  ImportStats stats;
+  std::string error;
+  // A .gr path dispatches to DIMACS and derives the .co sibling.
+  ASSERT_TRUE(ImportGraphFile(DataPath("mini.gr"), {}, &net, &stats, &error))
+      << error;
+  EXPECT_EQ(stats.file_nodes, 484u);
+  // An edge-list file dispatches to the OSM parser.
+  std::string osm = WriteTemp("sniff.osm",
+                              "n 1 0 0\nn 2 1 0\ne 1 2 1.5\n");
+  ASSERT_TRUE(ImportGraphFile(osm, {}, &net, &stats, &error)) << error;
+  EXPECT_EQ(net.num_nodes(), 2u);
+  // Snapshot containers are rejected with a pointer at the right API.
+  std::string snap = WriteTemp("sniff.snap", std::string("SRSNAP1\0x", 9));
+  EXPECT_FALSE(ImportGraphFile(snap, {}, &net, &stats, &error));
+  EXPECT_NE(error.find("LoadGraphSnapshot"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace structride
